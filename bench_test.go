@@ -1,0 +1,460 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices DESIGN.md calls out and
+// micro-benchmarks of the hot paths. Experiment benches run the same
+// runners as cmd/apebench at a reduced workload scale and report their
+// headline numbers via b.ReportMetric; run with -v to see the full tables.
+package apecache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"apecache/internal/cachepolicy"
+	"apecache/internal/dnswire"
+	"apecache/internal/experiments"
+	"apecache/internal/httplite"
+	"apecache/internal/objstore"
+	"apecache/internal/simnet"
+	"apecache/internal/testbed"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+	"apecache/internal/workload"
+)
+
+// benchScale keeps each experiment iteration in the seconds range; the
+// full paper-scale run is cmd/apebench -scale 1.
+const benchScale = 0.05
+
+// runExperiment executes one registered experiment per benchmark
+// iteration, logging the rendered table.
+func runExperiment(b *testing.B, id string, metricsFromRows func(*experiments.Result) map[string]float64) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Result
+	for b.Loop() {
+		res, err := e.Run(experiments.RunConfig{Scale: benchScale, Seed: 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.Log("\n" + last.Format())
+		if metricsFromRows != nil {
+			for name, v := range metricsFromRows(last) {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+// cell parses a numeric table cell.
+func cell(res *experiments.Result, row, col int) float64 {
+	if row >= len(res.Rows) || col >= len(res.Rows[row]) {
+		return 0
+	}
+	fields := strings.Fields(res.Rows[row][col])
+	if len(fields) == 0 {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(fields[0], 64)
+	return v
+}
+
+func BenchmarkTable1Akamai(b *testing.B) {
+	runExperiment(b, "table1", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"mi-apple-dns-ms": cell(r, 0, 2),
+			"mi-apple-rtt-ms": cell(r, 0, 4),
+		}
+	})
+}
+
+func BenchmarkTable2Traffic(b *testing.B) {
+	runExperiment(b, "table2", nil)
+}
+
+func BenchmarkFig2RouterUsage(b *testing.B) {
+	runExperiment(b, "fig2", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"high-cpu-max-%":  cell(r, 1, 2),
+			"high-mem-max-mb": cell(r, 1, 4),
+		}
+	})
+}
+
+func BenchmarkFig11aLookup(b *testing.B) {
+	runExperiment(b, "fig11a", func(r *experiments.Result) map[string]float64 {
+		last := len(r.Rows) - 1
+		return map[string]float64{
+			"ape-lookup-ms":  cell(r, last, 1),
+			"wic-lookup-ms":  cell(r, last, 2),
+			"edge-lookup-ms": cell(r, last, 3),
+		}
+	})
+}
+
+func BenchmarkFig11bOverhead(b *testing.B) {
+	runExperiment(b, "fig11b", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"dnscache-ms":    cell(r, 0, 1),
+			"plain-hit-ms":   cell(r, 1, 1),
+			"two-queries-ms": cell(r, 3, 1),
+		}
+	})
+}
+
+func BenchmarkFig11cRetrieval(b *testing.B) {
+	runExperiment(b, "fig11c", func(r *experiments.Result) map[string]float64 {
+		last := len(r.Rows) - 1
+		return map[string]float64{
+			"ape-retrieval-ms":  cell(r, last, 1),
+			"edge-retrieval-ms": cell(r, last, 3),
+		}
+	})
+}
+
+func BenchmarkTable4HitVsSize(b *testing.B) {
+	runExperiment(b, "table4", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"pacm-high-100kb": cell(r, 0, 2),
+			"lru-100kb":       cell(r, 0, 3),
+		}
+	})
+}
+
+func BenchmarkTable5HitVsFreq(b *testing.B) {
+	runExperiment(b, "table5", nil)
+}
+
+func BenchmarkTable6HitVsApps(b *testing.B) {
+	runExperiment(b, "table6", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"pacm-high-30apps": cell(r, len(r.Rows)-1, 2),
+		}
+	})
+}
+
+func BenchmarkFig12RealApps(b *testing.B) {
+	runExperiment(b, "fig12", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"ape-movietrailer-ms":  cell(r, 0, 1),
+			"edge-movietrailer-ms": cell(r, 3, 1),
+		}
+	})
+}
+
+func BenchmarkFig13AppLatency(b *testing.B) {
+	for _, id := range []string{"fig13a", "fig13b", "fig13c"} {
+		b.Run(id, func(b *testing.B) {
+			runExperiment(b, id, func(r *experiments.Result) map[string]float64 {
+				return map[string]float64{
+					"ape-ms":  cell(r, 0, 1),
+					"edge-ms": cell(r, 0, 4),
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkFig14Overhead(b *testing.B) {
+	runExperiment(b, "fig14", func(r *experiments.Result) map[string]float64 {
+		return map[string]float64{
+			"cpu-overhead-%":  cell(r, 2, 1),
+			"mem-overhead-mb": cell(r, 2, 3),
+		}
+	})
+}
+
+func BenchmarkTable7Effort(b *testing.B) {
+	runExperiment(b, "table7", nil)
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationPACMSolver compares the greedy keep-set solver against
+// the exact DP on the same eviction decisions.
+func BenchmarkAblationPACMSolver(b *testing.B) {
+	for _, mode := range []string{"greedy", "dp"} {
+		b.Run(mode, func(b *testing.B) {
+			sim := vclock.NewSim(time.Time{})
+			sim.Run("bench", func() {
+				freq := cachepolicy.NewFreqTracker(sim, 0.7, time.Minute)
+				rng := rand.New(rand.NewSource(1))
+				now := sim.Now()
+				entries := make([]*cachepolicy.Entry, 120)
+				for i := range entries {
+					app := fmt.Sprintf("app%d", i%10)
+					freq.Record(app)
+					size := (1 + rng.Intn(100)) << 10
+					entries[i] = &cachepolicy.Entry{
+						Object: &objstore.Object{
+							URL: fmt.Sprintf("http://%s.example/o%d", app, i), App: app,
+							Size: size, TTL: time.Hour, Priority: 1 + i%2,
+						},
+						Data:         make([]byte, size),
+						Expiry:       now.Add(time.Duration(10+rng.Intn(50)) * time.Minute),
+						FetchLatency: time.Duration(20+rng.Intn(30)) * time.Millisecond,
+					}
+				}
+				incoming := entries[0]
+				p := &cachepolicy.PACM{Theta: 0.4, UseDP: mode == "dp"}
+				b.ResetTimer()
+				for b.Loop() {
+					p.SelectVictims(now, entries[1:], incoming, 3<<20, freq)
+				}
+			})
+			sim.Shutdown()
+			sim.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationFairness measures the hit-ratio impact of the Gini
+// fairness constraint (θ=0.4 vs effectively disabled).
+func BenchmarkAblationFairness(b *testing.B) {
+	for _, theta := range []float64{0.4, 0.999} {
+		b.Run(fmt.Sprintf("theta=%.3f", theta), func(b *testing.B) {
+			var hit float64
+			for b.Loop() {
+				suite := workload.Generate(workload.GeneratorConfig{NumApps: 28, Seed: 1})
+				sim := vclock.NewSim(time.Time{})
+				sim.Run("bench", func() {
+					tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{Suite: suite, Seed: 1})
+					if err != nil {
+						b.Errorf("testbed: %v", err)
+						return
+					}
+					// Reach into the policy to adjust θ for the ablation.
+					if pacm, ok := tb.AP.Store().Policy().(*cachepolicy.PACM); ok {
+						pacm.Theta = theta
+					}
+					res := workload.Run(sim, suite, tb.FetcherFor, 3*time.Minute, 9)
+					_ = res
+					hit = tb.HitStats().All.Ratio()
+				})
+				sim.Shutdown()
+				sim.Wait()
+			}
+			b.ReportMetric(hit, "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationDummyIP quantifies the dummy-IP short circuit: mean
+// lookup latency with and without it.
+func BenchmarkAblationDummyIP(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "enabled"
+		if disable {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var lookupMS float64
+			for b.Loop() {
+				suite := workload.Generate(workload.GeneratorConfig{NumApps: 6, Seed: 2})
+				sim := vclock.NewSim(time.Time{})
+				sim.Run("bench", func() {
+					tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+						Suite: suite, Seed: 2, DisableDummyIP: disable,
+					})
+					if err != nil {
+						b.Errorf("testbed: %v", err)
+						return
+					}
+					workload.Run(sim, suite, tb.FetcherFor, 3*time.Minute, 4)
+					lookupMS = float64(tb.LookupStats().Mean()) / float64(time.Millisecond)
+				})
+				sim.Shutdown()
+				sim.Wait()
+			}
+			b.ReportMetric(lookupMS, "lookup-ms")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch measures the APPx-style dependency-prefetch
+// extension: AP hit ratio with and without prefetch hints.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, enable := range []bool{false, true} {
+		name := "off"
+		if enable {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var hit float64
+			for b.Loop() {
+				suite := workload.Generate(workload.GeneratorConfig{NumApps: 18, Seed: 5})
+				sim := vclock.NewSim(time.Time{})
+				sim.Run("bench", func() {
+					tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+						Suite: suite, Seed: 5, EnablePrefetch: enable,
+					})
+					if err != nil {
+						b.Errorf("testbed: %v", err)
+						return
+					}
+					workload.Run(sim, suite, tb.FetcherFor, 4*time.Minute, 6)
+					hit = tb.HitStats().All.Ratio()
+				})
+				sim.Shutdown()
+				sim.Wait()
+			}
+			b.ReportMetric(hit, "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationPolicies compares the three eviction policies — PACM
+// (the paper's), LRU (the paper's baseline) and GDSF (a classic
+// size-aware web policy, beyond the paper) — on the contended default
+// workload.
+func BenchmarkAblationPolicies(b *testing.B) {
+	policies := map[string]func() cachepolicy.Policy{
+		"pacm": func() cachepolicy.Policy { return cachepolicy.NewPACM() },
+		"lru":  func() cachepolicy.Policy { return cachepolicy.NewLRU() },
+		"gdsf": func() cachepolicy.Policy { return cachepolicy.NewGDSF() },
+	}
+	for _, name := range []string{"pacm", "lru", "gdsf"} {
+		mk := policies[name]
+		b.Run(name, func(b *testing.B) {
+			var hit, high float64
+			for b.Loop() {
+				suite := workload.Generate(workload.GeneratorConfig{NumApps: 28, Seed: 3})
+				sim := vclock.NewSim(time.Time{})
+				sim.Run("bench", func() {
+					tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+						Suite: suite, Seed: 3, Policy: mk(),
+					})
+					if err != nil {
+						b.Errorf("testbed: %v", err)
+						return
+					}
+					workload.Run(sim, suite, tb.FetcherFor, 4*time.Minute, 8)
+					hit = tb.HitStats().All.Ratio()
+					high = tb.HitStats().High.Ratio()
+				})
+				sim.Shutdown()
+				sim.Wait()
+			}
+			b.ReportMetric(hit, "hit-ratio")
+			b.ReportMetric(high, "high-prio-ratio")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ------------------------------------
+
+func BenchmarkDNSWireEncodeDecode(b *testing.B) {
+	msg := dnswire.NewQuery(7, "api.movietrailer.example", dnswire.TypeA)
+	entries := make([]dnswire.CacheEntry, 8)
+	for i := range entries {
+		entries[i] = dnswire.CacheEntry{Hash: uint64(i) * 0x9E3779B97F4A7C15, Flag: dnswire.FlagCacheHit}
+	}
+	msg.Additional = append(msg.Additional, dnswire.NewCacheRR("api.movietrailer.example", dnswire.ClassCacheRequest, entries))
+	b.ResetTimer()
+	for b.Loop() {
+		wire, err := msg.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashURL(b *testing.B) {
+	for b.Loop() {
+		dnswire.HashURL("http://api.movietrailer.example/thumbnail")
+	}
+}
+
+func BenchmarkHTTPLiteCodec(b *testing.B) {
+	resp := httplite.NewResponse(200, objstore.BodyFor("bench", 50<<10))
+	var buf strings.Builder
+	for b.Loop() {
+		buf.Reset()
+		if err := httplite.WriteResponse(&buf, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBodyGeneration(b *testing.B) {
+	b.SetBytes(100 << 10)
+	for b.Loop() {
+		objstore.BodyFor("http://x.example/o", 100<<10)
+	}
+}
+
+func BenchmarkGini(b *testing.B) {
+	values := make(map[string]float64, 30)
+	for i := range 30 {
+		values[fmt.Sprintf("app%d", i)] = float64(i + 1)
+	}
+	for b.Loop() {
+		cachepolicy.Gini(values)
+	}
+}
+
+func BenchmarkSimnetEcho(b *testing.B) {
+	// Virtual-time round trips per wall second: the simulator's core
+	// throughput metric.
+	sim := vclock.NewSim(time.Time{})
+	net := simnet.New(sim, 1)
+	net.SetLink("a", "b", simnet.Path{Latency: time.Millisecond})
+	sim.Run("bench", func() {
+		l, err := net.Node("b").Listen(80)
+		if err != nil {
+			b.Errorf("listen: %v", err)
+			return
+		}
+		sim.Go("echo", func() {
+			for {
+				s, err := l.Accept()
+				if err != nil {
+					return
+				}
+				sim.Go("conn", func() {
+					buf := make([]byte, 256)
+					for {
+						n, err := s.Read(buf)
+						if err != nil {
+							return
+						}
+						if _, err := s.Write(buf[:n]); err != nil {
+							return
+						}
+					}
+				})
+			}
+		})
+		c, err := net.Node("a").Dial(transport.Addr{Host: "b", Port: 80})
+		if err != nil {
+			b.Errorf("dial: %v", err)
+			return
+		}
+		buf := make([]byte, 256)
+		b.ResetTimer()
+		for b.Loop() {
+			if _, err := c.Write([]byte("ping")); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+			if _, err := c.Read(buf); err != nil {
+				b.Errorf("read: %v", err)
+				return
+			}
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+}

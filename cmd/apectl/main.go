@@ -1,0 +1,92 @@
+// Command apectl inspects a running APE-CACHE access point: it fetches
+// the AP's /status endpoint and renders the cache occupancy and runtime
+// counters.
+//
+// Usage:
+//
+//	apectl -ap 127.0.0.1:18080            # human-readable summary
+//	apectl -ap 127.0.0.1:18080 -raw      # raw JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"apecache"
+	"apecache/internal/httplite"
+	"apecache/internal/transport"
+)
+
+// status mirrors apcache.Status for decoding.
+type status struct {
+	CacheUsedBytes int64  `json:"cache_used_bytes"`
+	CacheCapacity  int64  `json:"cache_capacity_bytes"`
+	Entries        int    `json:"entries"`
+	Insertions     int    `json:"insertions"`
+	Updates        int    `json:"updates"`
+	Evictions      int    `json:"evictions"`
+	Expired        int    `json:"expired"`
+	Blocked        int    `json:"blocked"`
+	Delegations    int    `json:"delegations"`
+	Prefetches     int    `json:"prefetches"`
+	DNSHits        int    `json:"dns_cache_hits"`
+	DNSMisses      int    `json:"dns_cache_misses"`
+	Policy         string `json:"policy"`
+	UptimeSec      int64  `json:"uptime_sec"`
+}
+
+func main() {
+	ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
+	raw := flag.Bool("raw", false, "print the raw JSON status")
+	flag.Parse()
+	if err := run(*ap, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, "apectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(apAddr string, raw bool) error {
+	i := strings.LastIndexByte(apAddr, ':')
+	if i < 0 {
+		return fmt.Errorf("bad -ap %q", apAddr)
+	}
+	port, err := strconv.Atoi(apAddr[i+1:])
+	if err != nil || port < 1 || port > 65535 {
+		return fmt.Errorf("bad -ap port in %q", apAddr)
+	}
+	addr := transport.Addr{Host: apAddr[:i], Port: uint16(port)}
+
+	client := httplite.NewClient(apecache.NewRealHost(""))
+	resp, err := client.Get(addr, addr.Host, "/status")
+	if err != nil {
+		return err
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("status endpoint returned %d", resp.Status)
+	}
+	if raw {
+		fmt.Println(string(resp.Body))
+		return nil
+	}
+	var s status
+	if err := json.Unmarshal(resp.Body, &s); err != nil {
+		return fmt.Errorf("decode status: %w", err)
+	}
+
+	pct := 0.0
+	if s.CacheCapacity > 0 {
+		pct = float64(s.CacheUsedBytes) / float64(s.CacheCapacity) * 100
+	}
+	fmt.Printf("AP %s — policy %s, up %ds\n", apAddr, s.Policy, s.UptimeSec)
+	fmt.Printf("cache:  %d objects, %d / %d KB (%.1f%%)\n",
+		s.Entries, s.CacheUsedBytes>>10, s.CacheCapacity>>10, pct)
+	fmt.Printf("mgmt:   %d insertions, %d updates, %d evictions, %d expired, %d blocked\n",
+		s.Insertions, s.Updates, s.Evictions, s.Expired, s.Blocked)
+	fmt.Printf("runtime: %d delegations, %d prefetches, DNS cache %d hits / %d misses\n",
+		s.Delegations, s.Prefetches, s.DNSHits, s.DNSMisses)
+	return nil
+}

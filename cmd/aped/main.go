@@ -1,0 +1,99 @@
+// Command aped runs the APE-CACHE access-point runtime on real sockets:
+// a DNS server handling both ordinary and DNS-Cache queries on UDP and
+// the object-cache/delegation HTTP endpoint on TCP. It is the deployable
+// equivalent of the paper's modified dnsmasq.
+//
+// Usage:
+//
+//	aped -ip 127.0.0.1 -dns-port 15353 -http-port 18080 \
+//	     -upstream 8.8.8.8:53 -edge 127.0.0.1:8080 \
+//	     -cache-mb 5 -policy pacm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"apecache"
+	"apecache/internal/transport"
+)
+
+func main() {
+	var (
+		ip       = flag.String("ip", "127.0.0.1", "local IP to bind")
+		dnsPort  = flag.Uint("dns-port", 15353, "UDP port for DNS / DNS-Cache queries")
+		httpPort = flag.Uint("http-port", 18080, "TCP port for cache fetch and delegation")
+		upstream = flag.String("upstream", "127.0.0.1:53", "upstream resolver host:port")
+		edge     = flag.String("edge", "127.0.0.1:8080", "edge cache server host:port")
+		cacheMB  = flag.Int64("cache-mb", 5, "cache capacity in MiB")
+		policy   = flag.String("policy", "pacm", "eviction policy: pacm or lru")
+	)
+	flag.Parse()
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy); err != nil {
+		fmt.Fprintln(os.Stderr, "aped:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName string) error {
+	upstreamAddr, err := parseAddr(upstream)
+	if err != nil {
+		return fmt.Errorf("bad -upstream: %w", err)
+	}
+	edgeAddr, err := parseAddr(edge)
+	if err != nil {
+		return fmt.Errorf("bad -edge: %w", err)
+	}
+	var policy apecache.CachePolicy
+	switch policyName {
+	case "pacm":
+		policy = apecache.NewPACM()
+	case "lru":
+		policy = apecache.NewLRU()
+	default:
+		return fmt.Errorf("unknown policy %q (pacm or lru)", policyName)
+	}
+
+	ap := apecache.NewAP(apecache.APConfig{
+		Env:           apecache.RealEnv(),
+		Host:          apecache.NewRealHost(ip),
+		Upstream:      upstreamAddr,
+		EdgeAddr:      edgeAddr,
+		CacheCapacity: cacheMB << 20,
+		Policy:        policy,
+		Rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
+		DNSPort:       dnsPort,
+		HTTPPort:      httpPort,
+	})
+	if err := ap.Start(); err != nil {
+		return err
+	}
+	defer ap.Stop()
+	fmt.Printf("aped: DNS on %s, HTTP on %s, %d MiB %s cache, upstream %s, edge %s\n",
+		ap.DNSAddr(), ap.HTTPAddr(), cacheMB, policyName, upstreamAddr, edgeAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("aped: shutting down")
+	return nil
+}
+
+func parseAddr(s string) (transport.Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return transport.Addr{}, fmt.Errorf("missing port in %q", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port < 1 || port > 65535 {
+		return transport.Addr{}, fmt.Errorf("bad port in %q", s)
+	}
+	return transport.Addr{Host: s[:i], Port: uint16(port)}, nil
+}

@@ -1,0 +1,117 @@
+// Command digc is a dig-like diagnostic for DNS-Cache queries: it sends a
+// query for a domain to an APE-CACHE AP with the hashed URLs of interest
+// piggybacked in the Additional section, and prints the resolved address
+// plus every returned ⟨hash, flag⟩ tuple.
+//
+// Usage:
+//
+//	digc -server 127.0.0.1:15353 api.demo.example \
+//	     http://api.demo.example/obj0 http://api.demo.example/obj1
+//
+// With no URL arguments it sends a plain DNS query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"apecache"
+	"apecache/internal/dnsd"
+	"apecache/internal/dnswire"
+	"apecache/internal/transport"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:15353", "AP DNS endpoint host:port")
+	timeout := flag.Duration("timeout", 2*time.Second, "query timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: digc [-server host:port] <domain> [url ...]")
+		os.Exit(2)
+	}
+	if err := run(*server, *timeout, flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "digc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server string, timeout time.Duration, domain string, urls []string) error {
+	i := strings.LastIndexByte(server, ':')
+	if i < 0 {
+		return fmt.Errorf("bad -server %q", server)
+	}
+	port, err := strconv.Atoi(server[i+1:])
+	if err != nil {
+		return fmt.Errorf("bad -server port: %w", err)
+	}
+	serverAddr := transport.Addr{Host: server[:i], Port: uint16(port)}
+	host := apecache.NewRealHost("")
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	query := dnswire.NewQuery(uint16(rng.Intn(1<<16)), domain, dnswire.TypeA)
+	hashes := make(map[uint64]string, len(urls))
+	if len(urls) > 0 {
+		entries := make([]dnswire.CacheEntry, 0, len(urls))
+		for _, u := range urls {
+			basic := apecache.BasicURL(u)
+			h := apecache.HashURL(basic)
+			hashes[h] = basic
+			entries = append(entries, dnswire.CacheEntry{Hash: h})
+		}
+		query.Additional = append(query.Additional,
+			dnswire.NewCacheRR(domain, dnswire.ClassCacheRequest, entries))
+		fmt.Printf(";; DNS-Cache query: %s + %d hashed URL(s) -> %s\n", domain, len(urls), serverAddr)
+	} else {
+		fmt.Printf(";; plain DNS query: %s -> %s\n", domain, serverAddr)
+	}
+
+	start := time.Now()
+	resp, err := dnsd.Query(host, serverAddr, query, timeout)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf(";; rcode=%d elapsed=%v\n", resp.Header.RCode, elapsed.Round(10*time.Microsecond))
+	for _, rr := range resp.Answers {
+		switch rr.Type {
+		case dnswire.TypeA:
+			ip := dnswire.IPv4{rr.Data[0], rr.Data[1], rr.Data[2], rr.Data[3]}
+			marker := ""
+			if ip == dnswire.DummyIP {
+				marker = "  (dummy IP: domain fully available on the AP)"
+			}
+			fmt.Printf("%-40s %6d  A      %s%s\n", rr.Name, rr.TTL, ip, marker)
+		case dnswire.TypeCNAME:
+			target, _ := rr.CNAMETarget()
+			fmt.Printf("%-40s %6d  CNAME  %s\n", rr.Name, rr.TTL, target)
+		}
+	}
+	if rr, ok := resp.FindCacheRR(dnswire.ClassCacheResponse); ok {
+		entries, err := dnswire.ParseCacheRR(rr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf(";; DNS-Cache response: %d entr%s\n", len(entries), plural(len(entries)))
+		for _, e := range entries {
+			label := hashes[e.Hash]
+			if label == "" {
+				label = fmt.Sprintf("(hash %016x)", e.Hash)
+			}
+			fmt.Printf("   %-50s %s\n", label, e.Flag)
+		}
+	}
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -1,0 +1,94 @@
+// Command edged runs an origin server plus an edge cache server on real
+// sockets, serving a synthetic object catalog — the deployable stand-in
+// for the paper's edge desktop. aped delegates to it and APE-CACHE
+// clients fall back to it on Cache-Miss flags.
+//
+// Usage:
+//
+//	edged -ip 127.0.0.1 -edge-port 8080 -origin-port 8081 \
+//	      -domains api.demo.example,cdn.demo.example -objects 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"apecache"
+	"apecache/internal/objstore"
+)
+
+func main() {
+	var (
+		ip         = flag.String("ip", "127.0.0.1", "local IP to bind")
+		edgePort   = flag.Uint("edge-port", 8080, "TCP port of the edge cache server")
+		originPort = flag.Uint("origin-port", 8081, "TCP port of the origin server")
+		domains    = flag.String("domains", "api.demo.example", "comma-separated object domains")
+		objects    = flag.Int("objects", 8, "objects per domain")
+		seed       = flag.Int64("seed", 1, "catalog generation seed")
+	)
+	flag.Parse()
+	if err := run(*ip, uint16(*edgePort), uint16(*originPort), strings.Split(*domains, ","), *objects, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "edged:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ip string, edgePort, originPort uint16, domains []string, perDomain int, seed int64) error {
+	env := apecache.RealEnv()
+	host := apecache.NewRealHost(ip)
+	rng := rand.New(rand.NewSource(seed))
+
+	var objs []*objstore.Object
+	for _, domain := range domains {
+		domain = strings.TrimSpace(domain)
+		if domain == "" {
+			continue
+		}
+		for i := range perDomain {
+			objs = append(objs, &objstore.Object{
+				URL:         fmt.Sprintf("http://%s/obj%d", domain, i),
+				App:         domain,
+				Size:        (1 + rng.Intn(100)) << 10,
+				TTL:         time.Duration(10+rng.Intn(51)) * time.Minute,
+				Priority:    1 + rng.Intn(2),
+				OriginDelay: time.Duration(20+rng.Intn(31)) * time.Millisecond,
+			})
+		}
+	}
+	catalog := objstore.NewCatalog(objs...)
+	if err := catalog.Validate(); err != nil {
+		return err
+	}
+
+	origin := objstore.NewOriginServer(env, catalog)
+	originL, err := origin.Run(host, originPort)
+	if err != nil {
+		return err
+	}
+	defer originL.Close()
+
+	edge := objstore.NewEdgeCacheServer(env, host, catalog, originL.Addr())
+	edgeL, err := edge.Run(host, edgePort)
+	if err != nil {
+		return err
+	}
+	defer edgeL.Close()
+
+	fmt.Printf("edged: origin on %s, edge cache on %s, %d objects across %d domain(s)\n",
+		originL.Addr(), edgeL.Addr(), catalog.Len(), len(catalog.Domains()))
+	for _, o := range catalog.All() {
+		fmt.Printf("  %s  (%d KB, prio %d, ttl %v)\n", o.URL, o.Size>>10, o.Priority, o.TTL)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("edged: shutting down")
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"apecache"
+	"apecache/internal/metrics"
+	"apecache/internal/vclock"
+)
+
+// runAPIBased is VirtualHome rewritten against the API-based model: both
+// request sites change, and the sequential dependency the HTTP library
+// used to express is re-plumbed by hand. Table VII counts the
+// `api-impacted` lines.
+func runAPIBased(sim *vclock.Sim, client *apecache.Client, runs int, stats *metrics.LatencyStats) error {
+	const (
+		base = "http://api.virtualhome.example"
+		ttl  = 30 * time.Minute
+	)
+	for range runs {
+		start := sim.Now()
+
+		ids, err := client.InvokeHTTPRequest(base+"/arobjectsid", apecache.PriorityLow, ttl) // api-impacted
+		if err != nil {                                                                      // api-impacted
+			return fmt.Errorf("arobjectsid: %w", err) // api-impacted
+		}
+		_ = ids
+
+		objects, err := client.InvokeHTTPRequest(base+"/arobjects", apecache.PriorityHigh, ttl) // api-impacted
+		if err != nil {                                                                         // api-impacted
+			return fmt.Errorf("arobjects: %w", err) // api-impacted
+		}
+		_ = objects
+
+		sim.Sleep(10 * time.Millisecond) // compose the AR scene
+		stats.Add(sim.Now().Sub(start))
+		sim.Sleep(3 * time.Second)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module apecache
+
+go 1.24

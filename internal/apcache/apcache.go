@@ -1,0 +1,376 @@
+// Package apcache implements the AP-side APE-CACHE runtime of §IV: a DNS
+// server that extends the dnsmasq-like forwarder with DNS-Cache query
+// handling (batched per-domain cache flags piggybacked in the Additional
+// section, dummy-IP short-circuit when a domain is fully cached), an HTTP
+// endpoint serving cached objects, and a delegation endpoint that
+// fetch-throughs from the edge and feeds the PACM-managed cache.
+package apcache
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"apecache/internal/cachepolicy"
+	"apecache/internal/dnsd"
+	"apecache/internal/dnswire"
+	"apecache/internal/httplite"
+	"apecache/internal/objstore"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// Default ports for the AP runtime.
+const (
+	DefaultDNSPort  = 53
+	DefaultHTTPPort = 8080
+)
+
+// OpKind classifies AP-side work for the resource model (Fig 14).
+type OpKind int
+
+// Operation kinds reported to the resource sink.
+const (
+	OpDNSQuery OpKind = iota + 1
+	OpDNSCacheQuery
+	OpCacheServe
+	OpDelegation
+	OpPACMRun
+)
+
+// ResourceSink receives per-operation accounting events; internal/resmodel
+// implements it to produce the CPU/memory series of Fig 2 and Fig 14.
+type ResourceSink interface {
+	Account(op OpKind, bytes int)
+}
+
+// Config assembles an AP runtime.
+type Config struct {
+	Env  vclock.Env
+	Host transport.Host
+	// Upstream is the LDNS the embedded forwarder queries on DNS misses.
+	Upstream transport.Addr
+	// EdgeAddr is the edge cache server used for delegated fetches.
+	EdgeAddr transport.Addr
+	// CacheCapacity is the AP cache memory (5 MB in the evaluation).
+	CacheCapacity int64
+	// MaxObjectSize is the block-list threshold (default 500 KB).
+	MaxObjectSize int64
+	// Policy is the eviction policy (PACM, or LRU for APE-CACHE-LRU).
+	Policy cachepolicy.Policy
+	// Rng provides DNS transaction IDs.
+	Rng interface{ Intn(int) int }
+	// DNSPort and HTTPPort override the defaults when non-zero.
+	DNSPort  uint16
+	HTTPPort uint16
+	// DNSProcessing models the per-query handling cost of the modified
+	// dnsmasq on DNS-Cache queries; PlainDNSProcessing the stock dnsmasq
+	// cost on ordinary queries (the paper measures the difference at
+	// ~0.02 ms); HTTPProcessing the per-request object-serving cost.
+	DNSProcessing      time.Duration
+	PlainDNSProcessing time.Duration
+	HTTPProcessing     time.Duration
+	// Resources, when set, receives accounting events.
+	Resources ResourceSink
+	// DisableDummyIP turns off the dummy-IP short circuit (ablation):
+	// every DNS-Cache query then waits for real upstream resolution.
+	DisableDummyIP bool
+	// DisablePrefetch turns off dependency-driven prefetching (clients
+	// may still send X-Ape-Prefetch hints; they are ignored).
+	DisablePrefetch bool
+}
+
+// AP is a running APE-CACHE access point.
+type AP struct {
+	cfg   Config
+	store *cachepolicy.Store
+	fwd   *dnsd.Forwarder
+	edge  *httplite.Client
+
+	dnsConn  transport.PacketConn
+	dnsTCP   transport.Listener
+	httpList transport.Listener
+	started  time.Time
+
+	// mu guards the counters and stop flag: DNS and HTTP handlers run on
+	// separate goroutines under the real clock.
+	mu      sync.Mutex
+	stopped bool
+	// Delegations counts fetch-through operations; Prefetches counts
+	// background warm-ups triggered by X-Ape-Prefetch hints. Read them
+	// only from quiescent code (tests, Snapshot).
+	Delegations int
+	Prefetches  int
+}
+
+// New builds an AP runtime; call Start to begin serving.
+func New(cfg Config) *AP {
+	if cfg.DNSPort == 0 {
+		cfg.DNSPort = DefaultDNSPort
+	}
+	if cfg.HTTPPort == 0 {
+		cfg.HTTPPort = DefaultHTTPPort
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = cachepolicy.NewPACM()
+	}
+	store := cachepolicy.NewStore(cfg.Env, cfg.CacheCapacity, cfg.MaxObjectSize, cfg.Policy, nil)
+	fwd := dnsd.NewForwarder(cfg.Env, cfg.Host, cfg.Rng, cfg.Upstream)
+	fwd.ProcessingDelay = cfg.PlainDNSProcessing
+	return &AP{
+		cfg:   cfg,
+		store: store,
+		fwd:   fwd,
+		edge:  httplite.NewClient(cfg.Host),
+	}
+}
+
+// Store exposes the cache for experiment inspection.
+func (ap *AP) Store() *cachepolicy.Store { return ap.store }
+
+// Forwarder exposes the embedded DNS forwarder.
+func (ap *AP) Forwarder() *dnsd.Forwarder { return ap.fwd }
+
+// Start binds the DNS (UDP + TCP, for truncation fallback) and HTTP
+// ports and begins serving.
+func (ap *AP) Start() error {
+	pc, tcpL, err := dnsd.ListenAndServe(ap.cfg.Env, ap.cfg.Host, ap.cfg.DNSPort, ap)
+	if err != nil {
+		return fmt.Errorf("apcache: dns listen: %w", err)
+	}
+	ap.dnsConn = pc
+	ap.dnsTCP = tcpL
+
+	l, err := ap.cfg.Host.Listen(ap.cfg.HTTPPort)
+	if err != nil {
+		pc.Close()
+		tcpL.Close()
+		return fmt.Errorf("apcache: http listen: %w", err)
+	}
+	ap.httpList = l
+	mux := httplite.NewMux()
+	mux.HandleFunc("/cache", ap.handleCacheGet)
+	mux.HandleFunc("/delegate", ap.handleDelegate)
+	mux.HandleFunc("/status", ap.handleStatus)
+	srv := httplite.NewServer(ap.cfg.Env, mux)
+	ap.cfg.Env.Go("apcache.http", func() { srv.Serve(l) })
+	ap.started = ap.cfg.Env.Now()
+	ap.startSweeper()
+	return nil
+}
+
+// Stop closes the AP's listeners.
+func (ap *AP) Stop() {
+	ap.mu.Lock()
+	ap.stopped = true
+	ap.mu.Unlock()
+	if ap.dnsConn != nil {
+		ap.dnsConn.Close()
+	}
+	if ap.dnsTCP != nil {
+		ap.dnsTCP.Close()
+	}
+	if ap.httpList != nil {
+		ap.httpList.Close()
+	}
+}
+
+// DNSAddr returns the DNS endpoint.
+func (ap *AP) DNSAddr() transport.Addr {
+	return transport.Addr{Host: ap.cfg.Host.Name(), Port: ap.cfg.DNSPort}
+}
+
+// HTTPAddr returns the object/delegation endpoint.
+func (ap *AP) HTTPAddr() transport.Addr {
+	return transport.Addr{Host: ap.cfg.Host.Name(), Port: ap.cfg.HTTPPort}
+}
+
+// account forwards to the resource sink when configured.
+func (ap *AP) account(op OpKind, n int) {
+	if ap.cfg.Resources != nil {
+		ap.cfg.Resources.Account(op, n)
+	}
+}
+
+// HandleDNS implements dnsd.Handler: plain queries go through the
+// forwarder; DNS-Cache queries additionally collect cache flags and may
+// short-circuit resolution with the dummy IP (§IV-B).
+func (ap *AP) HandleDNS(from transport.Addr, query *dnswire.Message) *dnswire.Message {
+	reqRR, isCacheQuery := query.FindCacheRR(dnswire.ClassCacheRequest)
+	if !isCacheQuery {
+		ap.account(OpDNSQuery, 0)
+		return ap.fwd.HandleDNS(from, query)
+	}
+	ap.account(OpDNSCacheQuery, 0)
+	if ap.cfg.DNSProcessing > 0 {
+		ap.cfg.Env.Sleep(ap.cfg.DNSProcessing)
+	}
+
+	q := query.FirstQuestion()
+	domain := dnswire.CanonicalName(q.Name)
+	resp := query.Reply()
+
+	// Collect flags: every hash the client asked about, merged with every
+	// URL the AP knows under the domain (batching, §IV-B).
+	flags := make(map[uint64]dnswire.CacheFlag)
+	if requested, err := dnswire.ParseCacheRR(reqRR); err == nil {
+		for _, e := range requested {
+			flags[e.Hash] = ap.store.FlagByHash(e.Hash)
+		}
+	}
+	for _, e := range ap.store.KnownHashesForDomain(domain) {
+		flags[e.Hash] = e.Flag
+	}
+	entries := make([]dnswire.CacheEntry, 0, len(flags))
+	for h, f := range flags {
+		entries = append(entries, dnswire.CacheEntry{Hash: h, Flag: f})
+	}
+	resp.Additional = append(resp.Additional, dnswire.NewCacheRR(domain, dnswire.ClassCacheResponse, entries))
+
+	// Dummy-IP short-circuit (§IV-B "handling DNS resolution latency"):
+	// the client only ever dials the resolved IP when a flag says
+	// Cache-Miss (block-listed object). When every URL of the domain is
+	// available from the AP — cached or delegable — the AP skips
+	// upstream resolution entirely and answers a non-routable IP with
+	// TTL 0. This is what keeps APE-CACHE lookups at one WiFi round
+	// trip regardless of upstream DNS state.
+	anyMiss := ap.cfg.DisableDummyIP
+	for _, f := range flags {
+		if f == dnswire.FlagCacheMiss {
+			anyMiss = true
+			break
+		}
+	}
+	if !anyMiss {
+		resp.Answers = append(resp.Answers, dnswire.NewA(domain, 0, dnswire.DummyIP))
+		return resp
+	}
+
+	// Otherwise resolve normally (AP DNS cache, then upstream).
+	if answers, ok := ap.fwd.LookupCached(domain); ok {
+		resp.Answers = append(resp.Answers, answers...)
+		return resp
+	}
+	answers, rcode, err := ap.fwd.ResolveUpstream(domain)
+	if err != nil {
+		resp.Header.RCode = dnswire.RCodeServerFailure
+		return resp
+	}
+	resp.Header.RCode = rcode
+	resp.Answers = append(resp.Answers, answers...)
+	return resp
+}
+
+// handleCacheGet serves GET /cache?u=<url>&app=<app>: a Cache-Hit fetch.
+func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
+	if ap.cfg.HTTPProcessing > 0 {
+		ap.cfg.Env.Sleep(ap.cfg.HTTPProcessing)
+	}
+	params := queryParams(req.Path)
+	target := params["u"]
+	if target == "" {
+		return httplite.NewResponse(400, []byte("missing u parameter"))
+	}
+	if app := params["app"]; app != "" {
+		ap.store.RecordRequest(app)
+	}
+	entry, ok := ap.store.Get(dnswire.BasicURL(target))
+	if !ok {
+		// Evicted or expired between lookup and fetch: the client falls
+		// back to delegation/edge.
+		return httplite.NewResponse(404, []byte("not cached"))
+	}
+	ap.account(OpCacheServe, len(entry.Data))
+	resp := httplite.NewResponse(200, entry.Data)
+	resp.Set("X-Ape-Source", "ap-cache")
+	return resp
+}
+
+// handleDelegate serves POST /delegate: body is the raw URL; headers carry
+// the client-declared TTL (minutes), priority and app. The AP fetches the
+// object from the edge, caches it under the policy, and relays it.
+func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
+	if ap.cfg.HTTPProcessing > 0 {
+		ap.cfg.Env.Sleep(ap.cfg.HTTPProcessing)
+	}
+	rawURL := string(req.Body)
+	if rawURL == "" {
+		return httplite.NewResponse(400, []byte("missing url body"))
+	}
+	basic := dnswire.BasicURL(rawURL)
+	ttlMin, _ := strconv.Atoi(req.Get("X-Ape-TTL"))
+	if ttlMin <= 0 {
+		ttlMin = 10
+	}
+	priority, _ := strconv.Atoi(req.Get("X-Ape-Priority"))
+	if priority != objstore.PriorityHigh {
+		priority = objstore.PriorityLow
+	}
+	app := req.Get("X-Ape-App")
+	if app != "" {
+		ap.store.RecordRequest(app)
+	}
+	ap.maybePrefetch(req, app)
+
+	// Fetch from the edge, timing the retrieval — the measured latency
+	// approximates l_d for PACM (transfer time makes it grow with object
+	// size, so critical-path objects measure slower, as in the paper).
+	start := ap.cfg.Env.Now()
+	edgeResp, err := ap.edge.Get(ap.cfg.EdgeAddr, dnswire.URLDomain(basic), dnswire.URLPath(basic))
+	if err != nil {
+		return httplite.NewResponse(502, []byte(err.Error()))
+	}
+	if edgeResp.Status != 200 {
+		return edgeResp
+	}
+	fetchLatency := ap.cfg.Env.Now().Sub(start)
+	ap.mu.Lock()
+	ap.Delegations++
+	ap.mu.Unlock()
+	ap.account(OpDelegation, len(edgeResp.Body))
+
+	obj := &objstore.Object{
+		URL:      basic,
+		App:      app,
+		Size:     len(edgeResp.Body),
+		TTL:      time.Duration(ttlMin) * time.Minute,
+		Priority: priority,
+	}
+	ap.account(OpPACMRun, ap.store.Len())
+	_ = ap.store.Put(obj, edgeResp.Body, fetchLatency) // ErrBlocked is fine: relay anyway
+
+	resp := httplite.NewResponse(200, edgeResp.Body)
+	resp.Set("X-Ape-Source", "ap-delegate")
+	return resp
+}
+
+// queryParams parses the query string of a request path (url.ParseQuery
+// handles the escaping).
+func queryParams(path string) map[string]string {
+	out := make(map[string]string)
+	i := indexByte(path, '?')
+	if i < 0 {
+		return out
+	}
+	values, err := url.ParseQuery(path[i+1:])
+	if err != nil {
+		return out
+	}
+	for k, vs := range values {
+		if len(vs) > 0 {
+			out[k] = vs[0]
+		}
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,88 @@
+package apcache
+
+import (
+	"encoding/json"
+	"time"
+
+	"apecache/internal/httplite"
+)
+
+// Status is the operational snapshot served at GET /status — what an
+// operator (or cmd/apectl) sees when inspecting a running AP.
+type Status struct {
+	// Cache occupancy.
+	CacheUsedBytes int64 `json:"cache_used_bytes"`
+	CacheCapacity  int64 `json:"cache_capacity_bytes"`
+	Entries        int   `json:"entries"`
+	// Management counters.
+	Insertions int `json:"insertions"`
+	Updates    int `json:"updates"`
+	Evictions  int `json:"evictions"`
+	Expired    int `json:"expired"`
+	Blocked    int `json:"blocked"`
+	// Runtime counters.
+	Delegations int    `json:"delegations"`
+	Prefetches  int    `json:"prefetches"`
+	DNSHits     int    `json:"dns_cache_hits"`
+	DNSMisses   int    `json:"dns_cache_misses"`
+	Policy      string `json:"policy"`
+	UptimeSec   int64  `json:"uptime_sec"`
+}
+
+// Snapshot assembles the current status.
+func (ap *AP) Snapshot() Status {
+	stats := ap.store.Stats()
+	ap.mu.Lock()
+	delegations, prefetches := ap.Delegations, ap.Prefetches
+	ap.mu.Unlock()
+	return Status{
+		CacheUsedBytes: ap.store.Used(),
+		CacheCapacity:  ap.store.Capacity(),
+		Entries:        ap.store.Len(),
+		Insertions:     stats.Insertions,
+		Updates:        stats.Updates,
+		Evictions:      stats.Evictions,
+		Expired:        stats.Expired,
+		Blocked:        stats.Blocked,
+		Delegations:    delegations,
+		Prefetches:     prefetches,
+		DNSHits:        ap.fwd.Hits,
+		DNSMisses:      ap.fwd.Misses,
+		Policy:         ap.cfg.Policy.Name(),
+		UptimeSec:      int64(ap.cfg.Env.Now().Sub(ap.started) / time.Second),
+	}
+}
+
+// handleStatus serves GET /status.
+func (ap *AP) handleStatus(*httplite.Request) *httplite.Response {
+	body, err := json.MarshalIndent(ap.Snapshot(), "", "  ")
+	if err != nil {
+		return httplite.NewResponse(500, []byte(err.Error()))
+	}
+	resp := httplite.NewResponse(200, body)
+	resp.Set("Content-Type", "application/json")
+	return resp
+}
+
+// sweepInterval is how often the background sweeper evicts expired
+// entries so idle caches do not hold dead objects until the next insert.
+const sweepInterval = time.Minute
+
+// startSweeper launches the periodic expiry sweep. It exits when the AP
+// stops, or when Sleep stops consuming time (a shut-down virtual clock
+// returns immediately — without this check the loop would spin).
+func (ap *AP) startSweeper() {
+	ap.cfg.Env.Go("apcache.sweeper", func() {
+		for {
+			before := ap.cfg.Env.Now()
+			ap.cfg.Env.Sleep(sweepInterval)
+			ap.mu.Lock()
+			stopped := ap.stopped
+			ap.mu.Unlock()
+			if stopped || ap.cfg.Env.Now().Sub(before) < sweepInterval {
+				return
+			}
+			ap.store.SweepExpired()
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package appmodel represents mobile apps as DAGs of data-object requests
+// (the paper's Fig 3/Fig 10 structure: e.g. getMovieID feeding four
+// concurrent detail requests feeding composeUI), computes critical paths
+// for priority assignment, and executes the DAG concurrently against any
+// caching system, measuring app-level latency.
+package appmodel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"apecache/internal/objstore"
+	"apecache/internal/vclock"
+)
+
+// Fetcher retrieves one object by URL; apeclient.Client, wicache.Client
+// and edgecache.Client all satisfy it.
+type Fetcher interface {
+	Get(url string) ([]byte, error)
+}
+
+// Request is one node of an app's request DAG.
+type Request struct {
+	// Object is the cacheable object this request fetches.
+	Object *objstore.Object
+	// Deps are indices into App.Requests that must complete first.
+	Deps []int
+}
+
+// App is a mobile app: a named request DAG plus a final composition step.
+type App struct {
+	Name string
+	// Requests in index order; edges point from Deps to the node.
+	Requests []Request
+	// ComposeTime is the cost of assembling the UI once all requests
+	// finish.
+	ComposeTime time.Duration
+}
+
+// Validate checks the DAG is well-formed and acyclic.
+func (a *App) Validate() error {
+	n := len(a.Requests)
+	if n == 0 {
+		return fmt.Errorf("appmodel: %s: no requests", a.Name)
+	}
+	for i, r := range a.Requests {
+		if r.Object == nil {
+			return fmt.Errorf("appmodel: %s: request %d has no object", a.Name, i)
+		}
+		for _, d := range r.Deps {
+			if d < 0 || d >= n {
+				return fmt.Errorf("appmodel: %s: request %d dep %d out of range", a.Name, i, d)
+			}
+			if d == i {
+				return fmt.Errorf("appmodel: %s: request %d depends on itself", a.Name, i)
+			}
+		}
+	}
+	if _, err := a.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns a topological ordering, or an error on cycles.
+func (a *App) topoOrder() ([]int, error) {
+	n := len(a.Requests)
+	indeg := make([]int, n)
+	out := make([][]int, n)
+	for i, r := range a.Requests {
+		indeg[i] = len(r.Deps)
+		for _, d := range r.Deps {
+			out[d] = append(out[d], i)
+		}
+	}
+	var order []int
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, w := range out[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready = append(ready, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("appmodel: %s: request graph has a cycle", a.Name)
+	}
+	return order, nil
+}
+
+// EstimateFetchCost models the expected fetch duration of an object for
+// critical-path purposes: a fixed per-request overhead, the origin-side
+// delay, and a size-proportional transfer term.
+func EstimateFetchCost(o *objstore.Object) time.Duration {
+	const (
+		perRequest = 50 * time.Millisecond
+		bytesPerMS = 100 << 10 // ~100 KB per millisecond of transfer
+	)
+	transfer := time.Duration(o.Size/bytesPerMS) * time.Millisecond
+	return perRequest + o.OriginDelay + transfer
+}
+
+// CriticalPath returns the indices of the longest (by EstimateFetchCost)
+// dependency chain, in execution order — the paper's definition of the
+// requests whose objects deserve high priority.
+func (a *App) CriticalPath() []int {
+	order, err := a.topoOrder()
+	if err != nil {
+		return nil
+	}
+	cost := make([]time.Duration, len(a.Requests))
+	prev := make([]int, len(a.Requests))
+	for i := range prev {
+		prev[i] = -1
+	}
+	var bestEnd int
+	var bestCost time.Duration
+	for _, v := range order {
+		own := EstimateFetchCost(a.Requests[v].Object)
+		cost[v] = own
+		for _, d := range a.Requests[v].Deps {
+			if cost[d]+own > cost[v] {
+				cost[v] = cost[d] + own
+				prev[v] = d
+			}
+		}
+		if cost[v] > bestCost {
+			bestCost = cost[v]
+			bestEnd = v
+		}
+	}
+	var path []int
+	for v := bestEnd; v >= 0; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// AssignPriorities sets every object's priority: high on the critical
+// path, low elsewhere (§V-A: "the priority for each object was assigned
+// as 1 or 2 based on the critical path of the app").
+func (a *App) AssignPriorities() {
+	for i := range a.Requests {
+		a.Requests[i].Object.Priority = objstore.PriorityLow
+	}
+	for _, i := range a.CriticalPath() {
+		a.Requests[i].Object.Priority = objstore.PriorityHigh
+	}
+}
+
+// Objects returns the app's objects in request order.
+func (a *App) Objects() []*objstore.Object {
+	out := make([]*objstore.Object, len(a.Requests))
+	for i, r := range a.Requests {
+		out[i] = r.Object
+	}
+	return out
+}
+
+// Result is one app execution's outcome.
+type Result struct {
+	Latency time.Duration
+	Err     error
+}
+
+// ErrExecutionFailed wraps per-request fetch failures.
+var ErrExecutionFailed = errors.New("appmodel: execution failed")
+
+// Execute runs the app DAG against the fetcher: each request starts as
+// soon as its dependencies finish, independent requests run concurrently
+// (as the paper's apps issue concurrent HTTP requests), and the returned
+// latency covers start to post-compose — the paper's app-level latency.
+func Execute(env vclock.Env, sim *vclock.Sim, app *App, f Fetcher) Result {
+	start := env.Now()
+	n := len(app.Requests)
+	completions := vclock.NewQueue[completion](sim, "appmodel:"+app.Name)
+	defer completions.Close()
+
+	out := make([][]int, n)
+	pending := make([]int, n)
+	for i, r := range app.Requests {
+		pending[i] = len(r.Deps)
+		for _, d := range r.Deps {
+			out[d] = append(out[d], i)
+		}
+	}
+
+	launch := func(idx int) {
+		req := app.Requests[idx]
+		env.Go("fetch:"+req.Object.URL, func() {
+			_, err := f.Get(req.Object.URL)
+			completions.Push(completion{idx: idx, err: err})
+		})
+	}
+	started := 0
+	for i := range app.Requests {
+		if pending[i] == 0 {
+			launch(i)
+			started++
+		}
+	}
+
+	var firstErr error
+	for done := 0; done < started; done++ {
+		c, err := completions.Pop()
+		if err != nil {
+			return Result{Err: fmt.Errorf("%w: %s: %v", ErrExecutionFailed, app.Name, err)}
+		}
+		if c.err != nil && firstErr == nil {
+			firstErr = c.err
+		}
+		for _, next := range out[c.idx] {
+			pending[next]--
+			if pending[next] == 0 && c.err == nil {
+				launch(next)
+				started++
+			}
+		}
+	}
+	if firstErr != nil {
+		return Result{Err: fmt.Errorf("%w: %s: %v", ErrExecutionFailed, app.Name, firstErr)}
+	}
+	env.Sleep(app.ComposeTime)
+	return Result{Latency: env.Now().Sub(start)}
+}
+
+type completion struct {
+	idx int
+	err error
+}

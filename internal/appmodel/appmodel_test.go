@@ -1,0 +1,192 @@
+package appmodel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"apecache/internal/objstore"
+	"apecache/internal/vclock"
+)
+
+func smallObj(url string, delay time.Duration) *objstore.Object {
+	return &objstore.Object{URL: url, App: "t", Size: 1024, TTL: time.Hour,
+		Priority: objstore.PriorityLow, OriginDelay: delay}
+}
+
+// diamond builds root -> {a, b} -> sink.
+func diamond() *App {
+	return &App{
+		Name: "diamond",
+		Requests: []Request{
+			{Object: smallObj("http://t.example/root", 10*time.Millisecond)},
+			{Object: smallObj("http://t.example/a", 10*time.Millisecond), Deps: []int{0}},
+			{Object: smallObj("http://t.example/b", 40*time.Millisecond), Deps: []int{0}},
+			{Object: smallObj("http://t.example/sink", 10*time.Millisecond), Deps: []int{1, 2}},
+		},
+	}
+}
+
+func TestValidateAcceptsDAGAndRejectsCycle(t *testing.T) {
+	app := diamond()
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	app.Requests[0].Deps = []int{3} // root -> sink -> ... -> root
+	if err := app.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateRejectsBadDeps(t *testing.T) {
+	app := &App{Name: "bad", Requests: []Request{
+		{Object: smallObj("http://t.example/x", 0), Deps: []int{5}},
+	}}
+	if err := app.Validate(); err == nil {
+		t.Fatal("out-of-range dep not detected")
+	}
+	app = &App{Name: "bad2", Requests: []Request{
+		{Object: smallObj("http://t.example/x", 0), Deps: []int{0}},
+	}}
+	if err := app.Validate(); err == nil {
+		t.Fatal("self dep not detected")
+	}
+}
+
+func TestCriticalPathPicksSlowestChain(t *testing.T) {
+	app := diamond()
+	path := app.CriticalPath()
+	want := []int{0, 2, 3} // root -> b (40ms) -> sink
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestAssignPriorities(t *testing.T) {
+	app := diamond()
+	app.AssignPriorities()
+	wantHigh := map[int]bool{0: true, 2: true, 3: true}
+	for i, r := range app.Requests {
+		want := objstore.PriorityLow
+		if wantHigh[i] {
+			want = objstore.PriorityHigh
+		}
+		if r.Object.Priority != want {
+			t.Errorf("request %d priority = %d, want %d", i, r.Object.Priority, want)
+		}
+	}
+}
+
+// sleepFetcher simulates per-object fetch latency.
+type sleepFetcher struct {
+	env      vclock.Env
+	perFetch map[string]time.Duration
+	fail     map[string]bool
+	calls    int
+}
+
+func (f *sleepFetcher) Get(url string) ([]byte, error) {
+	f.calls++
+	f.env.Sleep(f.perFetch[url])
+	if f.fail[url] {
+		return nil, errors.New("boom")
+	}
+	return []byte("ok"), nil
+}
+
+func TestExecuteRunsIndependentRequestsConcurrently(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		app := diamond()
+		f := &sleepFetcher{env: sim, perFetch: map[string]time.Duration{
+			"http://t.example/root": 10 * time.Millisecond,
+			"http://t.example/a":    30 * time.Millisecond,
+			"http://t.example/b":    40 * time.Millisecond,
+			"http://t.example/sink": 5 * time.Millisecond,
+		}}
+		res := Execute(sim, sim, app, f)
+		if res.Err != nil {
+			t.Errorf("Execute: %v", res.Err)
+			return
+		}
+		// a and b overlap: total = 10 + max(30,40) + 5 = 55ms (+0 compose).
+		if res.Latency != 55*time.Millisecond {
+			t.Errorf("latency = %v, want 55ms (concurrent execution)", res.Latency)
+		}
+		if f.calls != 4 {
+			t.Errorf("calls = %d, want 4", f.calls)
+		}
+	})
+}
+
+func TestExecuteAddsComposeTime(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		app := &App{Name: "one", ComposeTime: 7 * time.Millisecond, Requests: []Request{
+			{Object: smallObj("http://t.example/x", 0)},
+		}}
+		f := &sleepFetcher{env: sim, perFetch: map[string]time.Duration{"http://t.example/x": 3 * time.Millisecond}}
+		res := Execute(sim, sim, app, f)
+		if res.Err != nil || res.Latency != 10*time.Millisecond {
+			t.Errorf("latency = %v err = %v, want 10ms", res.Latency, res.Err)
+		}
+	})
+}
+
+func TestExecutePropagatesFailure(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		app := diamond()
+		f := &sleepFetcher{
+			env:      sim,
+			perFetch: map[string]time.Duration{},
+			fail:     map[string]bool{"http://t.example/a": true},
+		}
+		res := Execute(sim, sim, app, f)
+		if !errors.Is(res.Err, ErrExecutionFailed) {
+			t.Errorf("err = %v, want ErrExecutionFailed", res.Err)
+		}
+	})
+}
+
+func TestEstimateFetchCostGrowsWithSizeAndDelay(t *testing.T) {
+	small := smallObj("http://t.example/s", 10*time.Millisecond)
+	big := &objstore.Object{URL: "http://t.example/b", App: "t", Size: 1 << 20, TTL: time.Hour,
+		Priority: 1, OriginDelay: 10 * time.Millisecond}
+	if EstimateFetchCost(big) <= EstimateFetchCost(small) {
+		t.Error("larger object should cost more")
+	}
+	slow := smallObj("http://t.example/d", 50*time.Millisecond)
+	if EstimateFetchCost(slow) <= EstimateFetchCost(small) {
+		t.Error("slower origin should cost more")
+	}
+}
+
+func TestWideFanoutExecutes(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		app := &App{Name: "wide"}
+		app.Requests = append(app.Requests, Request{Object: smallObj("http://t.example/root", 0)})
+		per := map[string]time.Duration{"http://t.example/root": time.Millisecond}
+		for i := range 20 {
+			u := fmt.Sprintf("http://t.example/leaf%d", i)
+			app.Requests = append(app.Requests, Request{Object: smallObj(u, 0), Deps: []int{0}})
+			per[u] = 10 * time.Millisecond
+		}
+		if err := app.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+			return
+		}
+		f := &sleepFetcher{env: sim, perFetch: per}
+		res := Execute(sim, sim, app, f)
+		if res.Err != nil || res.Latency != 11*time.Millisecond {
+			t.Errorf("latency = %v err = %v, want 11ms", res.Latency, res.Err)
+		}
+	})
+}

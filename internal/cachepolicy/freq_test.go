@@ -1,0 +1,85 @@
+package cachepolicy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"apecache/internal/vclock"
+)
+
+func TestFreqTrackerEWMA(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		for range 10 {
+			f.Record("app1")
+		}
+		// Bootstrap: current window count stands in before the first roll.
+		if got := f.Rate("app1"); got != 10 {
+			t.Errorf("bootstrap rate = %f, want 10", got)
+		}
+		sim.Sleep(time.Minute)
+		// After one window: R = (1-0.7)*0 + 0.7*10 = 7.
+		if got := f.Rate("app1"); math.Abs(got-7) > 1e-9 {
+			t.Errorf("rate after 1 window = %f, want 7", got)
+		}
+		for range 10 {
+			f.Record("app1")
+		}
+		sim.Sleep(time.Minute)
+		// R = 0.3*7 + 0.7*10 = 9.1.
+		if got := f.Rate("app1"); math.Abs(got-9.1) > 1e-9 {
+			t.Errorf("rate after 2 windows = %f, want 9.1", got)
+		}
+	})
+}
+
+func TestFreqTrackerDecaysIdleApps(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		for range 10 {
+			f.Record("app1")
+		}
+		sim.Sleep(time.Minute) // R = 7
+		sim.Sleep(3 * time.Minute)
+		// Three idle windows: 7 * 0.3^3 = 0.189.
+		if got := f.Rate("app1"); math.Abs(got-0.189) > 1e-9 {
+			t.Errorf("decayed rate = %f, want 0.189", got)
+		}
+	})
+}
+
+func TestFreqTrackerUnknownAppIsZero(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		if got := f.Rate("ghost"); got != 0 {
+			t.Errorf("unknown app rate = %f, want 0", got)
+		}
+	})
+}
+
+func TestFreqTrackerApps(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		f.Record("a")
+		f.Record("b")
+		sim.Sleep(time.Minute)
+		f.Record("c")
+		apps := f.Apps()
+		if len(apps) != 3 {
+			t.Errorf("Apps = %v, want 3 distinct", apps)
+		}
+	})
+}
+
+func TestFreqTrackerParameterDefaults(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	f := NewFreqTracker(sim, -1, 0)
+	if f.alpha != DefaultAlpha || f.window != DefaultFreqWindow {
+		t.Errorf("defaults not applied: alpha=%f window=%v", f.alpha, f.window)
+	}
+}

@@ -1,0 +1,79 @@
+package cachepolicy
+
+import (
+	"sort"
+	"time"
+)
+
+// GDSF is Greedy-Dual-Size-Frequency (Cherkasova, 1998) — the classic
+// size-aware web-cache policy, included as an additional baseline beyond
+// the paper's comparison. Each entry carries a credit
+//
+//	H(d) = L + hits(d) · cost(d) / size(d)
+//
+// where cost is the measured fetch latency in milliseconds and L is an
+// aging term set to the credit of the last eviction, so long-idle entries
+// eventually lose to fresh ones regardless of past popularity.
+type GDSF struct {
+	l       float64
+	credits map[*Entry]float64
+}
+
+// NewGDSF returns a fresh GDSF policy.
+func NewGDSF() *GDSF { return &GDSF{credits: make(map[*Entry]float64)} }
+
+var _ Policy = (*GDSF)(nil)
+
+// Name implements Policy.
+func (*GDSF) Name() string { return "GDSF" }
+
+// credit computes (caching) an entry's H value.
+func (g *GDSF) credit(e *Entry) float64 {
+	if h, ok := g.credits[e]; ok && e.Hits == 0 {
+		return h
+	}
+	cost := float64(e.FetchLatency) / float64(time.Millisecond)
+	if cost <= 0 {
+		cost = 1
+	}
+	size := float64(e.Size())
+	if size <= 0 {
+		size = 1
+	}
+	h := g.l + float64(e.Hits+1)*cost/size
+	g.credits[e] = h
+	return h
+}
+
+// SelectVictims implements Policy: evict ascending by credit until the
+// incoming entry fits, raising the aging floor L to the largest evicted
+// credit.
+func (g *GDSF) SelectVictims(_ time.Time, entries []*Entry, incoming *Entry, capacity int64, _ *FreqTracker) []*Entry {
+	avail := capacity
+	if incoming != nil {
+		avail -= incoming.Size()
+	}
+	var used int64
+	for _, e := range entries {
+		used += e.Size()
+	}
+	need := used - avail
+
+	ranked := make([]*Entry, len(entries))
+	copy(ranked, entries)
+	sort.SliceStable(ranked, func(i, j int) bool { return g.credit(ranked[i]) < g.credit(ranked[j]) })
+
+	var victims []*Entry
+	for _, e := range ranked {
+		if need <= 0 {
+			break
+		}
+		victims = append(victims, e)
+		need -= e.Size()
+		if h := g.credits[e]; h > g.l {
+			g.l = h
+		}
+		delete(g.credits, e)
+	}
+	return victims
+}

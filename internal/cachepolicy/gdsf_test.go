@@ -1,0 +1,103 @@
+package cachepolicy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"apecache/internal/vclock"
+)
+
+func TestGDSFPrefersSmallPopularObjects(t *testing.T) {
+	runStore(t, 12<<10, NewGDSF(), func(sim *vclock.Sim, s *Store) {
+		popular := testObj("http://a.example/popular", "a", 4<<10, 1, time.Hour)
+		unpopular := testObj("http://a.example/unpopular", "a", 4<<10, 1, time.Hour)
+		_ = s.Put(popular, make([]byte, popular.Size), 20*time.Millisecond)
+		_ = s.Put(unpopular, make([]byte, unpopular.Size), 20*time.Millisecond)
+		// Build popularity.
+		for range 5 {
+			if _, ok := s.Get(popular.URL); !ok {
+				t.Error("warm get missed")
+				return
+			}
+			sim.Sleep(time.Second)
+		}
+		// Insert an object that forces one eviction.
+		newcomer := testObj("http://a.example/new", "a", 8<<10, 1, time.Hour)
+		_ = s.Put(newcomer, make([]byte, newcomer.Size), 20*time.Millisecond)
+		if _, ok := s.Get(popular.URL); !ok {
+			t.Error("popular object was evicted over the unpopular one")
+		}
+		if _, ok := s.Get(unpopular.URL); ok {
+			t.Error("unpopular object survived")
+		}
+	})
+}
+
+func TestGDSFPenalizesLargeObjects(t *testing.T) {
+	runStore(t, 24<<10, NewGDSF(), func(sim *vclock.Sim, s *Store) {
+		big := testObj("http://a.example/big", "a", 16<<10, 1, time.Hour)
+		small1 := testObj("http://a.example/s1", "a", 4<<10, 1, time.Hour)
+		small2 := testObj("http://a.example/s2", "a", 4<<10, 1, time.Hour)
+		// Equal cost and hits: credit is cost/size, so the big object has
+		// the lowest credit density.
+		_ = s.Put(big, make([]byte, big.Size), 20*time.Millisecond)
+		_ = s.Put(small1, make([]byte, small1.Size), 20*time.Millisecond)
+		_ = s.Put(small2, make([]byte, small2.Size), 20*time.Millisecond)
+
+		newcomer := testObj("http://a.example/new", "a", 8<<10, 1, time.Hour)
+		_ = s.Put(newcomer, make([]byte, newcomer.Size), 20*time.Millisecond)
+		if _, ok := s.Get(big.URL); ok {
+			t.Error("big low-density object survived over small peers")
+		}
+		for _, u := range []string{small1.URL, small2.URL, newcomer.URL} {
+			if _, ok := s.Get(u); !ok {
+				t.Errorf("%s was evicted", u)
+			}
+		}
+	})
+}
+
+func TestGDSFAgingLetsNewEntriesDisplaceStalePopulars(t *testing.T) {
+	runStore(t, 8<<10, NewGDSF(), func(sim *vclock.Sim, s *Store) {
+		old := testObj("http://a.example/old", "a", 4<<10, 1, 24*time.Hour)
+		_ = s.Put(old, make([]byte, old.Size), 5*time.Millisecond)
+		for range 3 {
+			_, _ = s.Get(old.URL)
+		}
+		// A stream of distinct newcomers keeps raising L; eventually a
+		// fresh object must displace the once-popular one.
+		displaced := false
+		for i := range 30 {
+			o := testObj(fmt.Sprintf("http://a.example/n%d", i), "a", 4<<10, 1, 24*time.Hour)
+			_ = s.Put(o, make([]byte, o.Size), 50*time.Millisecond)
+			if _, ok := s.Get(old.URL); !ok {
+				displaced = true
+				break
+			}
+		}
+		if !displaced {
+			t.Error("aging never displaced the stale popular entry")
+		}
+	})
+}
+
+func TestGDSFCapacityInvariantUnderChurn(t *testing.T) {
+	runStore(t, 64<<10, NewGDSF(), func(sim *vclock.Sim, s *Store) {
+		rng := rand.New(rand.NewSource(17))
+		for i := range 400 {
+			size := 1 + rng.Intn(20<<10)
+			o := testObj(fmt.Sprintf("http://app%d.example/o%d", i%5, i), fmt.Sprintf("app%d", i%5),
+				size, 1+i%2, time.Hour)
+			_ = s.Put(o, make([]byte, size), time.Duration(rng.Intn(50))*time.Millisecond)
+			if s.Used() > s.Capacity() {
+				t.Fatalf("capacity exceeded at put %d", i)
+			}
+			if rng.Intn(3) == 0 {
+				_, _ = s.Get(o.URL)
+			}
+			sim.Sleep(time.Duration(rng.Intn(500)) * time.Millisecond)
+		}
+	})
+}

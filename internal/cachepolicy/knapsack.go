@@ -1,0 +1,76 @@
+package cachepolicy
+
+import (
+	"time"
+)
+
+// dpMaxEntries bounds exact-DP use: beyond this, PACM's greedy is used
+// regardless of the UseDP flag (the DP is quadratic and meant for small
+// caches, tests and the solver ablation bench).
+const dpMaxEntries = 256
+
+// dpUnit is the size granularity of the DP table (1 KiB buckets keep the
+// table small; object sizes in the evaluation are 1–500 KB).
+const dpUnit = 1024
+
+// solveKeepSetDP solves the capacity dimension of the PACM knapsack
+// exactly: choose the subset of entries with maximum total utility whose
+// rounded-up sizes fit in avail bytes. The fairness dimension is enforced
+// afterwards by the same repair pass as the greedy path.
+func solveKeepSetDP(entries []*Entry, avail int64, now time.Time, freq *FreqTracker) []*Entry {
+	if avail <= 0 || len(entries) == 0 {
+		return nil
+	}
+	capUnits := int(avail / dpUnit)
+	if capUnits <= 0 {
+		return nil
+	}
+
+	n := len(entries)
+	sizes := make([]int, n)
+	utils := make([]float64, n)
+	for i, e := range entries {
+		sizes[i] = int((e.Size() + dpUnit - 1) / dpUnit) // round up: never overfit
+		if sizes[i] == 0 {
+			sizes[i] = 1
+		}
+		utils[i] = Utility(e, now, freq)
+	}
+
+	// best[w] = max utility using capacity w; choice tracks taken items.
+	best := make([]float64, capUnits+1)
+	taken := make([][]bool, n)
+	for i := range taken {
+		taken[i] = make([]bool, capUnits+1)
+	}
+	for i := range n {
+		for w := capUnits; w >= sizes[i]; w-- {
+			cand := best[w-sizes[i]] + utils[i]
+			if cand > best[w] {
+				best[w] = cand
+				taken[i][w] = true
+			}
+		}
+	}
+
+	// Reconstruct: walk items in reverse of the processing order.
+	var keep []*Entry
+	w := capUnits
+	for i := n - 1; i >= 0; i-- {
+		if taken[i][w] {
+			keep = append(keep, entries[i])
+			w -= sizes[i]
+		}
+	}
+	return keep
+}
+
+// KeepSetUtility sums the utilities of a keep-set (test helper for
+// comparing greedy vs exact solutions).
+func KeepSetUtility(keep []*Entry, now time.Time, freq *FreqTracker) float64 {
+	var sum float64
+	for _, e := range keep {
+		sum += Utility(e, now, freq)
+	}
+	return sum
+}

@@ -1,0 +1,51 @@
+package cachepolicy
+
+import (
+	"sort"
+	"time"
+)
+
+// LRU is the baseline eviction policy used by Wi-Cache and by the
+// APE-CACHE-LRU ablation: evict least-recently-used entries until the
+// incoming object fits.
+type LRU struct{}
+
+// NewLRU returns the LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+var _ Policy = (*LRU)(nil)
+
+// Name implements Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// SelectVictims implements Policy.
+func (*LRU) SelectVictims(_ time.Time, entries []*Entry, incoming *Entry, capacity int64, _ *FreqTracker) []*Entry {
+	avail := capacity
+	if incoming != nil {
+		avail -= incoming.Size()
+	}
+	var used int64
+	for _, e := range entries {
+		used += e.Size()
+	}
+	need := used - avail
+
+	sorted := make([]*Entry, len(entries))
+	copy(sorted, entries)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].LastUsed.Equal(sorted[j].LastUsed) {
+			return sorted[i].LastUsed.Before(sorted[j].LastUsed)
+		}
+		return sorted[i].Inserted.Before(sorted[j].Inserted)
+	})
+
+	var victims []*Entry
+	for _, e := range sorted {
+		if need <= 0 {
+			break
+		}
+		victims = append(victims, e)
+		need -= e.Size()
+	}
+	return victims
+}

@@ -1,0 +1,214 @@
+package cachepolicy
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// PACM is the paper's Priority-Aware Cache Management policy (§IV-C).
+//
+// Each resident object d has utility
+//
+//	U_d = R(A_d) × e_d × l_d × p_d
+//
+// (app request frequency × remaining validity × latency saved per hit ×
+// developer priority). PACM keeps the subset of objects maximizing total
+// utility subject to (1) the capacity left after admitting the incoming
+// object and (2) a fairness bound F(A) ≤ θ on the Gini coefficient of
+// per-app storage efficiency C_a = Σ s_d / R(a).
+//
+// The paper solves this two-dimensional knapsack "utilizing dynamic
+// programming". A Gini constraint is not separable, so an exact DP over
+// it does not exist; this implementation evicts in ascending
+// utility-density order (utility per byte — the classic knapsack greedy,
+// optimal as item sizes shrink relative to capacity) and, whenever the
+// fairness bound is violated, restricts eviction to the apps that consume
+// storage least efficiently. The exact capacity-only DP in knapsack.go
+// verifies in tests that the greedy keep-set stays close to optimal.
+type PACM struct {
+	// Theta is the fairness threshold θ (default 0.4).
+	Theta float64
+	// UseDP enables the exact capacity-dimension DP for small caches
+	// (ablation; quadratic in entry count × capacity units).
+	UseDP bool
+}
+
+// NewPACM returns a PACM policy with the paper's default θ.
+func NewPACM() *PACM { return &PACM{Theta: DefaultFairnessThreshold} }
+
+var _ Policy = (*PACM)(nil)
+
+// Name implements Policy.
+func (p *PACM) Name() string { return "PACM" }
+
+// Utility computes U_d at the given instant. Frequencies are per-window
+// rates; e_d is measured in minutes, l_d in milliseconds.
+func Utility(e *Entry, now time.Time, freq *FreqTracker) float64 {
+	remaining := e.Expiry.Sub(now).Minutes()
+	if remaining <= 0 {
+		return 0
+	}
+	rate := freq.Rate(e.Object.App)
+	if rate < MinRate {
+		rate = MinRate // floor: ordering stays total, idle apps stay comparable
+	}
+	latencyMS := float64(e.FetchLatency) / float64(time.Millisecond)
+	if latencyMS <= 0 {
+		latencyMS = 1
+	}
+	return rate * remaining * latencyMS * float64(e.Object.Priority)
+}
+
+// SelectVictims implements Policy.
+func (p *PACM) SelectVictims(now time.Time, entries []*Entry, incoming *Entry, capacity int64, freq *FreqTracker) []*Entry {
+	avail := capacity
+	if incoming != nil {
+		avail -= incoming.Size()
+	}
+	var keep []*Entry
+	if p.UseDP && len(entries) <= dpMaxEntries {
+		keep = solveKeepSetDP(entries, avail, now, freq)
+	} else {
+		keep = p.greedyKeepSet(entries, avail, now, freq)
+	}
+	keep = p.enforceFairness(keep, incoming, now, freq)
+
+	kept := make(map[*Entry]struct{}, len(keep))
+	for _, e := range keep {
+		kept[e] = struct{}{}
+	}
+	var victims []*Entry
+	for _, e := range entries {
+		if _, ok := kept[e]; !ok {
+			victims = append(victims, e)
+		}
+	}
+	return victims
+}
+
+// greedyKeepSet keeps entries in descending utility-density order until
+// the capacity budget is exhausted.
+func (p *PACM) greedyKeepSet(entries []*Entry, avail int64, now time.Time, freq *FreqTracker) []*Entry {
+	type scored struct {
+		e       *Entry
+		density float64
+	}
+	ranked := make([]scored, 0, len(entries))
+	for _, e := range entries {
+		u := Utility(e, now, freq)
+		size := e.Size()
+		if size <= 0 {
+			size = 1
+		}
+		ranked = append(ranked, scored{e: e, density: u / float64(size)})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].density > ranked[j].density })
+	var keep []*Entry
+	var used int64
+	for _, s := range ranked {
+		if used+s.e.Size() <= avail {
+			keep = append(keep, s.e)
+			used += s.e.Size()
+		}
+	}
+	return keep
+}
+
+// enforceFairness drops the lowest-utility entries of storage-dominant
+// apps until F(A) ≤ θ. The incoming object (already admitted by
+// definition) participates in the efficiency accounting.
+func (p *PACM) enforceFairness(keep []*Entry, incoming *Entry, now time.Time, freq *FreqTracker) []*Entry {
+	theta := p.Theta
+	if theta <= 0 {
+		theta = DefaultFairnessThreshold
+	}
+	for len(keep) > 0 {
+		eff := storageEfficiency(keep, incoming, freq)
+		if len(eff) < 2 || Gini(eff) <= theta {
+			return keep
+		}
+		// Identify the app with the worst (largest) storage efficiency
+		// that still has evictable entries, and drop its lowest-utility
+		// entry.
+		victimIdx := -1
+		var victimUtil float64
+		worstApp := worstEfficiencyApp(eff, keep)
+		for i, e := range keep {
+			if e.Object.App != worstApp {
+				continue
+			}
+			u := Utility(e, now, freq)
+			if victimIdx < 0 || u < victimUtil {
+				victimIdx = i
+				victimUtil = u
+			}
+		}
+		if victimIdx < 0 {
+			return keep // dominant app is the incoming's; nothing to drop
+		}
+		keep = append(keep[:victimIdx], keep[victimIdx+1:]...)
+	}
+	return keep
+}
+
+// storageEfficiency computes C_a = bytes(a) / R(a) for every app present
+// in the keep-set plus the incoming object.
+func storageEfficiency(keep []*Entry, incoming *Entry, freq *FreqTracker) map[string]float64 {
+	bytes := make(map[string]int64)
+	for _, e := range keep {
+		bytes[e.Object.App] += e.Size()
+	}
+	if incoming != nil {
+		bytes[incoming.Object.App] += incoming.Size()
+	}
+	eff := make(map[string]float64, len(bytes))
+	for app, b := range bytes {
+		r := freq.Rate(app)
+		if r < MinRate {
+			r = MinRate
+		}
+		eff[app] = float64(b) / r
+	}
+	return eff
+}
+
+// worstEfficiencyApp returns the app with the largest C_a among apps that
+// own at least one keep-set entry.
+func worstEfficiencyApp(eff map[string]float64, keep []*Entry) string {
+	present := make(map[string]bool, len(keep))
+	for _, e := range keep {
+		present[e.Object.App] = true
+	}
+	worst, worstVal := "", math.Inf(-1)
+	for app, v := range eff {
+		if present[app] && v > worstVal {
+			worst, worstVal = app, v
+		}
+	}
+	return worst
+}
+
+// Gini computes the Gini coefficient of the values (Equation 1 of the
+// paper): F = ΣΣ|Cx−Cy| / (2·A·ΣCx). Zero means perfectly equal.
+func Gini(values map[string]float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	vals := make([]float64, 0, len(values))
+	var sum float64
+	for _, v := range values {
+		vals = append(vals, v)
+		sum += v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	var diff float64
+	for _, x := range vals {
+		for _, y := range vals {
+			diff += math.Abs(x - y)
+		}
+	}
+	return diff / (2 * float64(len(vals)) * sum)
+}

@@ -1,0 +1,360 @@
+package cachepolicy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/objstore"
+	"apecache/internal/vclock"
+)
+
+// DefaultMaxObjectSize is the block-list threshold: "if the data size
+// exceeds a threshold (set at 500kb in our implementation), it will be
+// added to the block list".
+const DefaultMaxObjectSize = 500 << 10
+
+// ErrBlocked reports that an object was refused and block-listed.
+var ErrBlocked = errors.New("cachepolicy: object block-listed")
+
+// Entry is one object resident in the AP cache, with the bookkeeping PACM
+// needs (e_d via Expiry, l_d via FetchLatency) and LRU needs (LastUsed).
+type Entry struct {
+	Object *objstore.Object
+	Data   []byte
+	// Expiry is insertion time + the object's TTL; e_d is the remaining
+	// distance to it.
+	Expiry time.Time
+	// FetchLatency is the measured latency of retrieving the object from
+	// the edge/cloud server — the paper's approximation of l_d, the time
+	// a client saves per AP hit.
+	FetchLatency time.Duration
+	LastUsed     time.Time
+	Inserted     time.Time
+	// Hits counts Get operations served by this entry (GDSF input).
+	Hits int
+}
+
+// Size returns the entry's payload size in bytes.
+func (e *Entry) Size() int64 { return int64(len(e.Data)) }
+
+// Fresh reports whether the entry is still within TTL at the given time.
+func (e *Entry) Fresh(now time.Time) bool { return now.Before(e.Expiry) }
+
+// Policy selects eviction victims when the cache must make room.
+type Policy interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+	// SelectVictims returns the entries to evict so that incoming (whose
+	// Data is already set) fits within capacity. The store guarantees
+	// need > 0 and that incoming fits in an empty cache. freq carries
+	// the per-app request frequencies.
+	SelectVictims(now time.Time, entries []*Entry, incoming *Entry, capacity int64, freq *FreqTracker) []*Entry
+}
+
+// StoreStats counts cache-management outcomes.
+type StoreStats struct {
+	Insertions int
+	Updates    int
+	Evictions  int
+	Expired    int
+	Blocked    int
+}
+
+// Store is the AP cache: a capacity-bounded object store with TTL expiry,
+// a block list for oversized objects, and a pluggable eviction policy.
+// It is safe for concurrent use: the real-socket AP serves DNS and HTTP
+// handlers on separate goroutines (under the simulation's single-floor
+// scheduler the mutex is uncontended).
+type Store struct {
+	mu            sync.Mutex
+	clock         vclock.Clock
+	capacity      int64
+	maxObjectSize int64
+	policy        Policy
+	freq          *FreqTracker
+	entries       map[string]*Entry // keyed by basic URL
+	byHash        map[uint64]string // DNS-Cache hash -> URL
+	used          int64
+	blocklist     map[string]struct{}
+	stats         StoreStats
+}
+
+// NewStore builds a cache with the given capacity and policy. A zero
+// maxObjectSize applies DefaultMaxObjectSize.
+func NewStore(clock vclock.Clock, capacity int64, maxObjectSize int64, policy Policy, freq *FreqTracker) *Store {
+	if maxObjectSize <= 0 {
+		maxObjectSize = DefaultMaxObjectSize
+	}
+	if freq == nil {
+		freq = NewFreqTracker(clock, DefaultAlpha, DefaultFreqWindow)
+	}
+	return &Store{
+		clock:         clock,
+		capacity:      capacity,
+		maxObjectSize: maxObjectSize,
+		policy:        policy,
+		freq:          freq,
+		entries:       make(map[string]*Entry),
+		byHash:        make(map[uint64]string),
+		blocklist:     make(map[string]struct{}),
+	}
+}
+
+// Freq exposes the frequency tracker (the AP runtime records every client
+// request on it, cache hit or not).
+func (s *Store) Freq() *FreqTracker { return s.freq }
+
+// Policy exposes the eviction policy (ablation benchmarks tweak its
+// parameters in place).
+func (s *Store) Policy() Policy { return s.policy }
+
+// Stats returns a copy of the management counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Used returns the bytes currently stored.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Capacity returns the configured capacity in bytes.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Flag returns the DNS-Cache status for a basic URL, implementing the
+// three-way classification of §IV-B.
+func (s *Store) Flag(url string) dnswire.CacheFlag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flagLocked(url)
+}
+
+func (s *Store) flagLocked(url string) dnswire.CacheFlag {
+	if _, blocked := s.blocklist[url]; blocked {
+		return dnswire.FlagCacheMiss
+	}
+	if e, ok := s.entries[url]; ok && e.Fresh(s.clock.Now()) {
+		return dnswire.FlagCacheHit
+	}
+	return dnswire.FlagDelegation
+}
+
+// FlagByHash resolves a hashed URL from a DNS-Cache request. Unknown
+// hashes are Delegation (the AP has never seen the URL; it will learn it
+// when the client delegates).
+func (s *Store) FlagByHash(h uint64) dnswire.CacheFlag {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if url, ok := s.byHash[h]; ok {
+		return s.flagLocked(url)
+	}
+	return dnswire.FlagDelegation
+}
+
+// KnownHashesForDomain returns the ⟨hash, flag⟩ entries for every URL the
+// store has ever seen under the domain — the batching behaviour of §IV-B
+// ("respond with the cache status for all URLs under the same domain").
+func (s *Store) KnownHashesForDomain(domain string) []dnswire.CacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.knownHashesLocked(domain)
+}
+
+func (s *Store) knownHashesLocked(domain string) []dnswire.CacheEntry {
+	domain = dnswire.CanonicalName(domain)
+	var out []dnswire.CacheEntry
+	for h, url := range s.byHash {
+		if dnswire.URLDomain(url) == domain {
+			out = append(out, dnswire.CacheEntry{Hash: h, Flag: s.flagLocked(url)})
+		}
+	}
+	return out
+}
+
+// DomainFullyCached reports whether every URL known under the domain is a
+// fresh cache hit (the dummy-IP short-circuit condition) — and at least
+// one is known.
+func (s *Store) DomainFullyCached(domain string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.knownHashesLocked(domain)
+	if len(entries) == 0 {
+		return false
+	}
+	for _, e := range entries {
+		if e.Flag != dnswire.FlagCacheHit {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the entry for url if fresh, updating recency.
+func (s *Store) Get(url string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[url]
+	if !ok {
+		return nil, false
+	}
+	now := s.clock.Now()
+	if !e.Fresh(now) {
+		return nil, false
+	}
+	e.LastUsed = now
+	e.Hits++
+	return e, true
+}
+
+// RecordRequest counts one client request for app a toward R(a).
+func (s *Store) RecordRequest(app string) { s.freq.Record(app) }
+
+// Put inserts (or refreshes) an object fetched by delegation. fetchLatency
+// is the observed edge/cloud retrieval latency (l_d). Oversized objects
+// are block-listed and ErrBlocked returned.
+func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	size := int64(len(data))
+	if size > s.maxObjectSize || size > s.capacity {
+		s.blocklist[obj.URL] = struct{}{}
+		s.byHash[obj.Hash()] = obj.URL
+		s.stats.Blocked++
+		return fmt.Errorf("%w: %s (%d bytes)", ErrBlocked, obj.URL, size)
+	}
+
+	if old, ok := s.entries[obj.URL]; ok {
+		// Refresh in place.
+		s.used += size - old.Size()
+		old.Data = data
+		old.Expiry = now.Add(obj.TTL)
+		old.FetchLatency = fetchLatency
+		old.LastUsed = now
+		s.stats.Updates++
+		s.makeRoom(nil) // in case the refresh grew the entry
+		return nil
+	}
+
+	entry := &Entry{
+		Object:       obj,
+		Data:         data,
+		Expiry:       now.Add(obj.TTL),
+		FetchLatency: fetchLatency,
+		LastUsed:     now,
+		Inserted:     now,
+	}
+	s.makeRoom(entry)
+	s.entries[obj.URL] = entry
+	s.byHash[obj.Hash()] = obj.URL
+	s.used += size
+	s.stats.Insertions++
+	return nil
+}
+
+// makeRoom evicts expired entries, then asks the policy for victims until
+// incoming fits. incoming may be nil (capacity repair after a refresh).
+func (s *Store) makeRoom(incoming *Entry) {
+	now := s.clock.Now()
+	for url, e := range s.entries {
+		if !e.Fresh(now) {
+			s.removeEntry(url)
+			s.stats.Expired++
+		}
+	}
+	var need int64 = s.used - s.capacity
+	if incoming != nil {
+		need = s.used + incoming.Size() - s.capacity
+	}
+	if need <= 0 {
+		return
+	}
+	victims := s.policy.SelectVictims(now, s.entriesSlice(), incoming, s.capacity, s.freq)
+	for _, v := range victims {
+		if _, ok := s.entries[v.Object.URL]; !ok {
+			continue
+		}
+		s.removeEntry(v.Object.URL)
+		s.stats.Evictions++
+		need -= v.Size()
+	}
+	// The policy is trusted but verified: if it under-evicted, fall back
+	// to dropping the oldest entries so the capacity invariant holds.
+	if need > 0 {
+		for url, e := range s.entries {
+			if need <= 0 {
+				break
+			}
+			need -= e.Size()
+			s.removeEntry(url)
+			s.stats.Evictions++
+		}
+	}
+}
+
+// removeEntry drops a resident entry but keeps its hash known (the AP has
+// "seen" the URL; a later DNS-Cache query gets Delegation, not silence).
+func (s *Store) removeEntry(url string) {
+	e, ok := s.entries[url]
+	if !ok {
+		return
+	}
+	s.used -= e.Size()
+	delete(s.entries, url)
+}
+
+// entriesSlice snapshots the resident entries.
+func (s *Store) entriesSlice() []*Entry {
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Entries exposes a snapshot for tests and the experiment harness.
+func (s *Store) Entries() []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entriesSlice()
+}
+
+// SweepExpired evicts every TTL-expired entry, returning how many were
+// dropped. The store also expires lazily on insert; the AP's background
+// sweeper calls this so idle caches release memory promptly.
+func (s *Store) SweepExpired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	dropped := 0
+	for url, e := range s.entries {
+		if !e.Fresh(now) {
+			s.removeEntry(url)
+			s.stats.Expired++
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Blocked reports whether a URL is on the block list.
+func (s *Store) Blocked(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.blocklist[url]
+	return ok
+}

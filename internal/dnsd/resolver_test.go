@@ -1,0 +1,202 @@
+package dnsd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// chainFixture: ldns resolving www.site.example -> CNAME (TTL 300) at
+// adns -> A (TTL configurable) at cdndns.
+type chainFixture struct {
+	sim  *vclock.Sim
+	net  *simnet.Network
+	ldns *Resolver
+	adns *Authoritative
+	cdn  *CDNRedirector
+	// query counters via wrapping handlers
+	adnsQueries, cdnQueries int
+}
+
+func newChainFixture(t *testing.T, sim *vclock.Sim, aTTL uint32) *chainFixture {
+	t.Helper()
+	net := simnet.New(sim, 4)
+	net.SetLink("ldns", "adns", simnet.Path{Latency: 5 * time.Millisecond})
+	net.SetLink("ldns", "cdndns", simnet.Path{Latency: 4 * time.Millisecond})
+
+	fx := &chainFixture{sim: sim, net: net}
+	fx.adns = NewAuthoritative(sim)
+	fx.adns.Add(dnswire.NewCNAME("www.site.example", 300, "www.site.example.edgekey.example"))
+	fx.cdn = NewCDNRedirector(sim, aTTL)
+	fx.cdn.SetNearest("ldns", dnswire.IPv4{10, 1, 1, 1})
+
+	counting := func(h Handler, counter *int) Handler {
+		return HandlerFunc(func(from transport.Addr, q *dnswire.Message) *dnswire.Message {
+			*counter++
+			return h.HandleDNS(from, q)
+		})
+	}
+	for _, s := range []struct {
+		node string
+		h    Handler
+	}{
+		{"adns", counting(fx.adns, &fx.adnsQueries)},
+		{"cdndns", counting(fx.cdn, &fx.cdnQueries)},
+	} {
+		pc, err := net.Node(s.node).ListenPacket(53)
+		if err != nil {
+			t.Fatalf("listen %s: %v", s.node, err)
+		}
+		h := s.h
+		sim.Go("dns."+s.node, func() { Serve(sim, pc, h) })
+	}
+
+	fx.ldns = NewResolver(sim, net.Node("ldns"), rand.New(rand.NewSource(6)))
+	fx.ldns.Delegate("", transport.Addr{Host: "adns", Port: 53})
+	fx.ldns.Delegate("edgekey.example", transport.Addr{Host: "cdndns", Port: 53})
+	return fx
+}
+
+// TestResolverCachesChainStepsIndependently: once the long-TTL CNAME is
+// cached, expiry of the short-TTL A record re-queries only the CDN DNS.
+func TestResolverCachesChainStepsIndependently(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		fx := newChainFixture(t, sim, 5) // A records live 5 s
+
+		if _, rcode, err := fx.ldns.Resolve("www.site.example"); err != nil || rcode != dnswire.RCodeSuccess {
+			t.Errorf("resolve 1: rcode=%v err=%v", rcode, err)
+			return
+		}
+		if fx.adnsQueries != 1 || fx.cdnQueries != 1 {
+			t.Errorf("cold chain: adns=%d cdn=%d, want 1/1", fx.adnsQueries, fx.cdnQueries)
+		}
+
+		// Within both TTLs: fully cached, no upstream traffic.
+		sim.Sleep(2 * time.Second)
+		if _, _, err := fx.ldns.Resolve("www.site.example"); err != nil {
+			t.Errorf("resolve 2: %v", err)
+			return
+		}
+		if fx.adnsQueries != 1 || fx.cdnQueries != 1 {
+			t.Errorf("warm chain touched upstream: adns=%d cdn=%d", fx.adnsQueries, fx.cdnQueries)
+		}
+
+		// Past the A TTL but well within the CNAME TTL: only the CDN leg
+		// re-queries.
+		sim.Sleep(10 * time.Second)
+		if _, _, err := fx.ldns.Resolve("www.site.example"); err != nil {
+			t.Errorf("resolve 3: %v", err)
+			return
+		}
+		if fx.adnsQueries != 1 {
+			t.Errorf("CNAME re-queried (adns=%d), its TTL is 300s", fx.adnsQueries)
+		}
+		if fx.cdnQueries != 2 {
+			t.Errorf("cdn queries = %d, want 2 (A expired)", fx.cdnQueries)
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolverTTLZeroNeverCaches: load-balancing answers with TTL 0 force
+// a CDN query every single time.
+func TestResolverTTLZeroNeverCaches(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		fx := newChainFixture(t, sim, 0)
+		for range 4 {
+			if _, _, err := fx.ldns.Resolve("www.site.example"); err != nil {
+				t.Errorf("resolve: %v", err)
+				return
+			}
+			sim.Sleep(time.Second)
+		}
+		if fx.cdnQueries != 4 {
+			t.Errorf("cdn queries = %d, want 4 (TTL 0)", fx.cdnQueries)
+		}
+		if fx.adnsQueries != 1 {
+			t.Errorf("adns queries = %d, want 1 (CNAME cached)", fx.adnsQueries)
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolverNegativeCaching: NXDOMAIN answers are cached briefly, then
+// re-queried after the negative TTL.
+func TestResolverNegativeCaching(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		fx := newChainFixture(t, sim, 60)
+		for range 5 {
+			if _, rcode, err := fx.ldns.Resolve("nothere.site.example"); err != nil || rcode != dnswire.RCodeNameError {
+				t.Errorf("resolve: rcode=%v err=%v", rcode, err)
+				return
+			}
+		}
+		if fx.adnsQueries != 1 {
+			t.Errorf("adns queries = %d, want 1 (negative cache)", fx.adnsQueries)
+		}
+		sim.Sleep(time.Minute) // past the 30 s negative TTL
+		if _, _, err := fx.ldns.Resolve("nothere.site.example"); err != nil {
+			t.Errorf("resolve after expiry: %v", err)
+			return
+		}
+		if fx.adnsQueries != 2 {
+			t.Errorf("adns queries = %d, want 2 (negative entry expired)", fx.adnsQueries)
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolverBreaksCNAMELoops: two CNAMEs pointing at each other must
+// terminate with a server failure, not hang.
+func TestResolverBreaksCNAMELoops(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		net := simnet.New(sim, 4)
+		net.SetLink("ldns", "adns", simnet.Path{Latency: time.Millisecond})
+		loopy := NewAuthoritative(sim)
+		loopy.Add(dnswire.NewCNAME("a.loop.example", 60, "b.loop.example"))
+		loopy.Add(dnswire.NewCNAME("b.loop.example", 60, "a.loop.example"))
+		pc, err := net.Node("adns").ListenPacket(53)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		sim.Go("dns.adns", func() { Serve(sim, pc, loopy) })
+
+		ldns := NewResolver(sim, net.Node("ldns"), rand.New(rand.NewSource(1)))
+		ldns.Delegate("", transport.Addr{Host: "adns", Port: 53})
+		_, rcode, err := ldns.Resolve("a.loop.example")
+		if err != nil {
+			t.Errorf("Resolve: %v", err)
+			return
+		}
+		if rcode != dnswire.RCodeServerFailure {
+			t.Errorf("rcode = %v, want SERVFAIL on a CNAME loop", rcode)
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

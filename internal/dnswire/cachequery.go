@@ -1,0 +1,146 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// CacheFlag is the per-URL cache status carried in a DNS-Cache RR
+// (§IV-B of the paper).
+type CacheFlag uint8
+
+// Cache status flags. FlagNone is used in requests, where only the hash is
+// meaningful.
+const (
+	FlagNone CacheFlag = iota
+	// FlagCacheHit: the object is stored on the AP and can be fetched
+	// from it directly.
+	FlagCacheHit
+	// FlagCacheMiss: the AP refuses to serve or delegate the object (it
+	// is on the block list); fetch from the edge.
+	FlagCacheMiss
+	// FlagDelegation: the AP does not hold the object but will fetch,
+	// cache and relay it if asked (first sighting or expired entry).
+	FlagDelegation
+)
+
+// String renders the flag mnemonic.
+func (f CacheFlag) String() string {
+	switch f {
+	case FlagNone:
+		return "None"
+	case FlagCacheHit:
+		return "Cache-Hit"
+	case FlagCacheMiss:
+		return "Cache-Miss"
+	case FlagDelegation:
+		return "Delegation"
+	default:
+		return fmt.Sprintf("Flag(%d)", uint8(f))
+	}
+}
+
+// CacheEntry is one ⟨HASH(URL), FLAG⟩ tuple of a DNS-Cache RDATA.
+type CacheEntry struct {
+	Hash uint64
+	Flag CacheFlag
+}
+
+// ErrNotCacheRR reports that a record is not a DNS-Cache RR.
+var ErrNotCacheRR = errors.New("dnswire: not a DNS-Cache resource record")
+
+const cacheEntrySize = 9 // 8-byte hash + 1-byte flag
+
+// NewCacheRR builds a DNS-Cache RR for the Additional section. The class
+// distinguishes requests from responses; entries hold the hashed URLs (the
+// paper hashes to keep plaintext URLs out of unencrypted DNS messages).
+func NewCacheRR(domain string, class Class, entries []CacheEntry) RR {
+	data := make([]byte, 0, len(entries)*cacheEntrySize)
+	for _, e := range entries {
+		data = binary.BigEndian.AppendUint64(data, e.Hash)
+		data = append(data, byte(e.Flag))
+	}
+	return RR{Name: CanonicalName(domain), Type: TypeDNSCache, Class: class, Data: data}
+}
+
+// ParseCacheRR extracts the entries of a DNS-Cache RR.
+func ParseCacheRR(rr RR) ([]CacheEntry, error) {
+	if rr.Type != TypeDNSCache {
+		return nil, ErrNotCacheRR
+	}
+	if len(rr.Data)%cacheEntrySize != 0 {
+		return nil, fmt.Errorf("dnswire: DNS-Cache RDATA length %d: %w", len(rr.Data), ErrTruncatedMessage)
+	}
+	entries := make([]CacheEntry, 0, len(rr.Data)/cacheEntrySize)
+	for i := 0; i+cacheEntrySize <= len(rr.Data); i += cacheEntrySize {
+		entries = append(entries, CacheEntry{
+			Hash: binary.BigEndian.Uint64(rr.Data[i:]),
+			Flag: CacheFlag(rr.Data[i+8]),
+		})
+	}
+	return entries, nil
+}
+
+// FindCacheRR returns the first DNS-Cache RR of the given class in the
+// Additional section.
+func (m *Message) FindCacheRR(class Class) (RR, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type == TypeDNSCache && rr.Class == class {
+			return rr, true
+		}
+	}
+	return RR{}, false
+}
+
+// HashURL hashes a URL for transmission in DNS-Cache RDATA (FNV-1a 64-bit;
+// the paper leaves the hash function unspecified).
+func HashURL(url string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(url))
+	return h.Sum64()
+}
+
+// BasicURL strips the query string and fragment, yielding the object
+// identity used for cache matching ("basic URLs without parameters").
+func BasicURL(url string) string {
+	if i := strings.IndexAny(url, "?#"); i >= 0 {
+		url = url[:i]
+	}
+	return url
+}
+
+// URLDomain extracts the host part of a URL (no port handling: the
+// simulated URL space uses bare hostnames).
+func URLDomain(url string) string {
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexAny(rest, "/?#"); i >= 0 {
+		rest = rest[:i]
+	}
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		rest = rest[:i]
+	}
+	return CanonicalName(rest)
+}
+
+// URLPath extracts the path part of a URL including the leading slash.
+func URLPath(url string) string {
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[i:]
+	}
+	return "/"
+}
+
+// DummyIP is returned by an APE-CACHE AP in place of a real resolution
+// when every URL of the domain is cached locally, letting the client skip
+// upstream DNS entirely (TEST-NET-2, never routable).
+var DummyIP = IPv4{198, 51, 100, 1}

@@ -1,0 +1,326 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// maxMessageSize bounds encoded messages; our transports carry up to
+// 64 KiB datagrams, so no truncation logic beyond the TC flag is needed.
+const maxMessageSize = 64 << 10
+
+// Encode serializes the message with RFC 1035 name compression applied to
+// owner names.
+func (m *Message) Encode() ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[string]int)}
+
+	flags := uint16(0)
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	e.u16(m.Header.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, fmt.Errorf("encode question %q: %w", q.Name, err)
+		}
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if err := e.rr(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(e.buf) > maxMessageSize {
+		return nil, ErrTooLarge
+	}
+	return e.buf, nil
+}
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // fully-qualified suffix -> offset, for compression
+}
+
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+func (e *encoder) rr(rr RR) error {
+	if err := e.name(rr.Name); err != nil {
+		return fmt.Errorf("encode rr %q: %w", rr.Name, err)
+	}
+	e.u16(uint16(rr.Type))
+	e.u16(uint16(rr.Class))
+	e.u32(rr.TTL)
+	if len(rr.Data) > 0xFFFF {
+		return fmt.Errorf("encode rr %q: rdata %d bytes: %w", rr.Name, len(rr.Data), ErrTooLarge)
+	}
+	e.u16(uint16(len(rr.Data)))
+	e.buf = append(e.buf, rr.Data...)
+	return nil
+}
+
+// name writes a possibly-compressed domain name.
+func (e *encoder) name(name string) error {
+	name = CanonicalName(name)
+	if name == "" {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := e.offsets[suffix]; ok && off < 0x3FFF {
+			e.u16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[suffix] = len(e.buf)
+		}
+		label := labels[i]
+		if len(label) == 0 || len(label) > 63 {
+			return ErrBadName
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+// encodeNameRaw writes an uncompressed name (used inside RDATA).
+func encodeNameRaw(name string) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var buf []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, ErrBadName
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	if len(buf) > 254 {
+		return nil, ErrBadName
+	}
+	return append(buf, 0), nil
+}
+
+// Decode parses a wire-format DNS message. Compressed names — including
+// names inside the RDATA of CNAME/NS/PTR records — are fully decompressed.
+func Decode(data []byte) (*Message, error) {
+	d := &decoder{data: data}
+	var m Message
+
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             Opcode(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+	for range counts[0] {
+		name, err := d.name()
+		if err != nil {
+			return nil, fmt.Errorf("decode question: %w", err)
+		}
+		t, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for i, section := range sections {
+		for range counts[i+1] {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*section = append(*section, rr)
+		}
+	}
+	return &m, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.data) {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint16(d.data[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) name() (string, error) {
+	name, next, err := decodeName(d.data, d.pos)
+	if err != nil {
+		return "", err
+	}
+	d.pos = next
+	return name, nil
+}
+
+func (d *decoder) rr() (RR, error) {
+	name, err := d.name()
+	if err != nil {
+		return RR{}, fmt.Errorf("decode rr name: %w", err)
+	}
+	t, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	if d.pos+int(rdlen) > len(d.data) {
+		return RR{}, ErrTruncatedMessage
+	}
+	rdata := d.data[d.pos : d.pos+int(rdlen)]
+	rr := RR{Name: name, Type: Type(t), Class: Class(c), TTL: ttl}
+	switch rr.Type {
+	case TypeCNAME, TypeNS, TypePTR:
+		// The RDATA is a domain name that may use compression pointers
+		// into the whole message; canonicalize to uncompressed form.
+		target, _, err := decodeName(d.data, d.pos)
+		if err != nil {
+			return RR{}, fmt.Errorf("decode %s rdata: %w", rr.Type, err)
+		}
+		raw, err := encodeNameRaw(target)
+		if err != nil {
+			return RR{}, fmt.Errorf("decode %s rdata: %w", rr.Type, err)
+		}
+		rr.Data = raw
+	default:
+		rr.Data = make([]byte, rdlen)
+		copy(rr.Data, rdata)
+	}
+	d.pos += int(rdlen)
+	return rr, nil
+}
+
+// decodeName reads a (possibly compressed) name starting at off and
+// returns the canonical name plus the offset just past it in the
+// uncompressed portion.
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	next := -1 // resume offset after the first pointer
+	jumps := 0
+	totalLen := 0
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if next < 0 {
+				next = off + 1
+			}
+			return strings.Join(labels, "."), next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:]) & 0x3FFF)
+			if next < 0 {
+				next = off + 2
+			}
+			if ptr >= off || jumps > 62 {
+				return "", 0, ErrBadPointer
+			}
+			jumps++
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, ErrBadName
+		default:
+			n := int(b)
+			if off+1+n > len(data) {
+				return "", 0, ErrTruncatedMessage
+			}
+			totalLen += n + 1
+			if totalLen > 255 {
+				return "", 0, ErrBadName
+			}
+			label := strings.ToLower(string(data[off+1 : off+1+n]))
+			// This stack canonicalizes names as dot-joined strings, so a
+			// dot inside a label has no faithful representation; real
+			// resolvers treat such labels as hostile anyway.
+			if strings.ContainsRune(label, '.') {
+				return "", 0, ErrBadName
+			}
+			labels = append(labels, label)
+			off += 1 + n
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and decode to the same
+// structure (a round-trip fixed point).
+func FuzzDecode(f *testing.F) {
+	// Seed with real messages.
+	q := NewQuery(7, "www.apple.com", TypeA)
+	q.Additional = append(q.Additional, NewCacheRR("www.apple.com", ClassCacheRequest,
+		[]CacheEntry{{Hash: 42, Flag: FlagCacheHit}}))
+	if wire, err := q.Encode(); err == nil {
+		f.Add(wire)
+	}
+	r := q.Reply()
+	r.Answers = append(r.Answers,
+		NewCNAME("www.apple.com", 300, "edge.example"),
+		NewA("edge.example", 20, IPv4{1, 2, 3, 4}))
+	if wire, err := r.Encode(); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted messages must re-encode...
+		wire, err := msg.Encode()
+		if err != nil {
+			// Some decodable messages exceed encoder limits (e.g. counts
+			// implied beyond 64 KiB); that is acceptable.
+			return
+		}
+		// ...and decode back to an equivalent structure.
+		again, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Header != msg.Header {
+			t.Fatalf("header drift: %+v vs %+v", again.Header, msg.Header)
+		}
+		if len(again.Questions) != len(msg.Questions) ||
+			len(again.Answers) != len(msg.Answers) ||
+			len(again.Authority) != len(msg.Authority) ||
+			len(again.Additional) != len(msg.Additional) {
+			t.Fatal("section count drift")
+		}
+		for i := range msg.Answers {
+			if again.Answers[i].Name != msg.Answers[i].Name ||
+				again.Answers[i].Type != msg.Answers[i].Type ||
+				!bytes.Equal(again.Answers[i].Data, msg.Answers[i].Data) {
+				t.Fatalf("answer %d drift", i)
+			}
+		}
+	})
+}

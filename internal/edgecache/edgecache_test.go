@@ -1,0 +1,169 @@
+package edgecache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"apecache/internal/dnsd"
+	"apecache/internal/dnswire"
+	"apecache/internal/objstore"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// fixture: client -- dns(ldns) and client -- edge -- origin, with the
+// resolver answering the edge's IP at a configurable TTL.
+type fixture struct {
+	sim  *vclock.Sim
+	net  *simnet.Network
+	book *dnsd.AddrBook
+	obj  *objstore.Object
+	auth *dnsd.Authoritative
+}
+
+func newFixture(t *testing.T, sim *vclock.Sim, answerTTL uint32) *fixture {
+	t.Helper()
+	net := simnet.New(sim, 6)
+	net.SetLink("client", "dns", simnet.Path{Latency: 10 * time.Millisecond})
+	net.SetLink("client", "edge", simnet.Path{Latency: 14 * time.Millisecond, Hops: 8})
+	net.SetLink("edge", "origin", simnet.Path{Latency: 20 * time.Millisecond})
+
+	obj := &objstore.Object{URL: "http://api.e.example/data", App: "e", Size: 8 << 10,
+		TTL: 30 * time.Minute, Priority: 1, OriginDelay: 10 * time.Millisecond}
+	catalog := objstore.NewCatalog(obj)
+
+	origin := objstore.NewOriginServer(sim, catalog)
+	if _, err := origin.Run(net.Node("origin"), 80); err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	edge := objstore.NewEdgeCacheServer(sim, net.Node("edge"), catalog, transport.Addr{Host: "origin", Port: 80})
+	edge.Prepopulate()
+	if _, err := edge.Run(net.Node("edge"), 80); err != nil {
+		t.Fatalf("edge: %v", err)
+	}
+
+	book := dnsd.NewAddrBook()
+	edgeIP := book.Assign("edge")
+	auth := dnsd.NewAuthoritative(sim)
+	auth.Add(dnswire.NewA("api.e.example", answerTTL, edgeIP))
+	pc, err := net.Node("dns").ListenPacket(53)
+	if err != nil {
+		t.Fatalf("dns: %v", err)
+	}
+	sim.Go("dns", func() { dnsd.Serve(sim, pc, auth) })
+
+	return &fixture{sim: sim, net: net, book: book, obj: obj, auth: auth}
+}
+
+func newClient(fx *fixture) *Client {
+	return New(Config{
+		Env:  fx.sim,
+		Host: fx.net.Node("client"),
+		DNS:  transport.Addr{Host: "dns", Port: 53},
+		Book: fx.book,
+		Rng:  rand.New(rand.NewSource(2)),
+	})
+}
+
+func run(t *testing.T, answerTTL uint32, fn func(fx *fixture)) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() { fn(newFixture(t, sim, answerTTL)) })
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoStageWorkflow(t *testing.T) {
+	run(t, 60, func(fx *fixture) {
+		c := newClient(fx)
+		body, err := c.Get(fx.obj.URL + "?q=1")
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
+			t.Errorf("Get: %v (%d bytes)", err, len(body))
+			return
+		}
+		if c.Stats().Lookup.Count() != 1 || c.Stats().Retrieval.Count() != 1 {
+			t.Errorf("stage counts: lookup=%d retrieval=%d",
+				c.Stats().Lookup.Count(), c.Stats().Retrieval.Count())
+		}
+		// Lookup = one client<->dns round trip (20 ms); retrieval = TCP
+		// handshake + request over the 14 ms path (~56 ms).
+		if l := c.Stats().Lookup.Mean(); l < 19*time.Millisecond || l > 25*time.Millisecond {
+			t.Errorf("lookup = %v, want ≈20ms", l)
+		}
+	})
+}
+
+func TestClientHonoursAnswerTTL(t *testing.T) {
+	run(t, 60, func(fx *fixture) {
+		c := newClient(fx)
+		if _, err := c.Get(fx.obj.URL); err != nil {
+			t.Errorf("get1: %v", err)
+			return
+		}
+		// Within TTL: the second lookup is free (client DNS cache).
+		start := fx.sim.Now()
+		if _, err := c.Get(fx.obj.URL); err != nil {
+			t.Errorf("get2: %v", err)
+			return
+		}
+		if c.Stats().Lookup.Count() != 2 {
+			t.Errorf("lookup samples = %d", c.Stats().Lookup.Count())
+		}
+		_ = start
+		second := c.Stats().Lookup.Max()
+		if min := c.Stats().Lookup.Min(); min > time.Millisecond {
+			t.Errorf("cached lookup = %v, want ≈0", min)
+		}
+		_ = second
+
+		// Past TTL: resolution happens again.
+		fx.sim.Sleep(2 * time.Minute)
+		if _, err := c.Get(fx.obj.URL); err != nil {
+			t.Errorf("get3: %v", err)
+			return
+		}
+		if got := c.Stats().Lookup.Count(); got != 3 {
+			t.Errorf("lookup samples = %d, want 3", got)
+		}
+	})
+}
+
+func TestUncacheableTTLZeroResolvesEveryTime(t *testing.T) {
+	run(t, 0, func(fx *fixture) {
+		c := newClient(fx)
+		for range 3 {
+			if _, err := c.Get(fx.obj.URL); err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+		}
+		// All three lookups must pay the full resolution round trip.
+		if min := c.Stats().Lookup.Min(); min < 19*time.Millisecond {
+			t.Errorf("lookup min = %v; TTL-0 answers must never be cached", min)
+		}
+	})
+}
+
+func TestNXDomainSurfacesError(t *testing.T) {
+	run(t, 60, func(fx *fixture) {
+		c := newClient(fx)
+		if _, err := c.Get("http://unknown.example/x"); err == nil {
+			t.Error("expected resolution error for unknown domain")
+		}
+	})
+}
+
+func TestUnknownObjectSurfaces404(t *testing.T) {
+	run(t, 60, func(fx *fixture) {
+		c := newClient(fx)
+		if _, err := c.Get("http://api.e.example/ghost"); err == nil {
+			t.Error("expected status error for unknown object")
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"apecache/internal/testbed"
+	"apecache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Real-world apps' latency (mean and 95th percentile) across the four systems",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13a",
+		Title: "Average app-level latency vs data object size (all 30 apps, four systems)",
+		Run:   runFig13a,
+	})
+	register(Experiment{
+		ID:    "fig13b",
+		Title: "Average app-level latency vs app usage frequency",
+		Run:   runFig13b,
+	})
+	register(Experiment{
+		ID:    "fig13c",
+		Title: "Average app-level latency vs app quantity",
+		Run:   runFig13c,
+	})
+}
+
+func runFig12(cfg RunConfig) (*Result, error) {
+	// The two real apps only, each executing at the default frequency.
+	suite := workload.Generate(workload.GeneratorConfig{NumApps: 1, Seed: cfg.Seed})
+	suite.Apps = suite.Apps[:2] // MovieTrailer + VirtualHome
+	realOnly := map[string]float64{"MovieTrailer": 3, "VirtualHome": 3}
+	suite.Freq = realOnly
+
+	res := &Result{
+		ID:     "fig12",
+		Title:  "Real-world app latency (ms): mean / P95",
+		Header: []string{"System", "MovieTrailer mean", "MovieTrailer P95", "VirtualHome mean", "VirtualHome P95"},
+		Notes: []string{
+			"paper: APE-CACHE cuts ≈78% of average and ≈76% of tail latency vs Edge Cache",
+		},
+	}
+	for _, system := range testbed.Systems {
+		out, err := runWorkload(system, suite, "fig12-real", cfg.workloadDuration(), cfg.Seed, defaultCapacity)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{system.String()}
+		for _, app := range []string{"MovieTrailer", "VirtualHome"} {
+			stats := out.PerApp[app]
+			if stats == nil || stats.Count() == 0 {
+				return nil, fmt.Errorf("fig12: no samples for %s on %v", app, system)
+			}
+			row = append(row, ms(stats.Mean()), ms(stats.P95()))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runFig13Sweep renders one Fig 13 panel.
+func runFig13Sweep(cfg RunConfig, id, title, varHeader string,
+	points []string, suiteAt func(i int) (*workload.Suite, string), note string) (*Result, error) {
+	res := &Result{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{varHeader}, systemNames()...),
+		Notes:  []string{note},
+	}
+	for i, label := range points {
+		suite, key := suiteAt(i)
+		row := []string{label}
+		for _, system := range testbed.Systems {
+			out, err := runWorkload(system, suite, key, cfg.workloadDuration(), cfg.Seed, defaultCapacity)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(out.AppLatency.Mean()))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func systemNames() []string {
+	names := make([]string, 0, len(testbed.Systems))
+	for _, s := range testbed.Systems {
+		names = append(names, s.String())
+	}
+	return names
+}
+
+func runFig13a(cfg RunConfig) (*Result, error) {
+	labels := make([]string, len(sizeSweepKB))
+	for i, kb := range sizeSweepKB {
+		labels[i] = fmt.Sprintf("1~%d kb", kb)
+	}
+	return runFig13Sweep(cfg, "fig13a", "Mean app-level latency (ms) vs object size", "Object size",
+		labels, func(i int) (*workload.Suite, string) { return suiteForSize(sizeSweepKB[i], cfg.Seed) },
+		"paper at defaults: APE-CACHE 30 ms, APE-CACHE-LRU 42 ms, Wi-Cache 54 ms, Edge Cache 122 ms")
+}
+
+func runFig13b(cfg RunConfig) (*Result, error) {
+	labels := make([]string, len(freqSweep))
+	for i, f := range freqSweep {
+		labels[i] = fmt.Sprintf("%.1f/min", f)
+	}
+	return runFig13Sweep(cfg, "fig13b", "Mean app-level latency (ms) vs usage frequency", "Avg. frequency",
+		labels, func(i int) (*workload.Suite, string) { return suiteForFreq(freqSweep[i], cfg.Seed) },
+		"paper: latency falls slightly as frequency rises (warmer caches)")
+}
+
+func runFig13c(cfg RunConfig) (*Result, error) {
+	labels := make([]string, len(appQuantities))
+	for i, n := range appQuantities {
+		labels[i] = fmt.Sprintf("%d apps", n)
+	}
+	return runFig13Sweep(cfg, "fig13c", "Mean app-level latency (ms) vs app quantity", "App quantity",
+		labels, func(i int) (*workload.Suite, string) { return suiteForApps(appQuantities[i], cfg.Seed) },
+		"paper: AP-cache systems degrade as more apps contend for 5 MB; Edge Cache is flat and worst")
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOrderKeyPlacesUnknownLast(t *testing.T) {
+	if orderKey("table1") >= orderKey("fig2") {
+		t.Error("table1 should sort before fig2")
+	}
+	if orderKey("mystery") <= orderKey("table7") {
+		t.Error("unknown IDs should sort after known ones")
+	}
+}
+
+func TestRunConfigScaling(t *testing.T) {
+	if d := (RunConfig{}).workloadDuration(); d != time.Hour {
+		t.Errorf("default duration = %v, want 1h", d)
+	}
+	if d := (RunConfig{Scale: 0.5}).workloadDuration(); d != 30*time.Minute {
+		t.Errorf("scaled duration = %v, want 30m", d)
+	}
+	if d := (RunConfig{Scale: -3}).workloadDuration(); d != time.Hour {
+		t.Errorf("negative scale duration = %v, want 1h", d)
+	}
+}
+
+func TestMsAndRatioRendering(t *testing.T) {
+	if got := ms(1234 * time.Microsecond); got != "1.23" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := ratio(0.83219); got != "0.832" {
+		t.Errorf("ratio = %q", got)
+	}
+}
+
+func TestRunMemoSharesResultsAcrossExperiments(t *testing.T) {
+	// fig11a and fig11c share workload runs through the memo: after one
+	// runs at a given config, the other must complete near-instantly.
+	// (The memo is keyed by suite key + duration + seed + system.)
+	a, ok := ByID("fig11a")
+	if !ok {
+		t.Fatal("fig11a missing")
+	}
+	c, ok := ByID("fig11c")
+	if !ok {
+		t.Fatal("fig11c missing")
+	}
+	cfg := RunConfig{Scale: 0.02, Seed: 77}
+	if _, err := a.Run(cfg); err != nil {
+		t.Fatalf("fig11a: %v", err)
+	}
+	start := time.Now()
+	if _, err := c.Run(cfg); err != nil {
+		t.Fatalf("fig11c: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("fig11c took %v despite the shared-run memo", elapsed)
+	}
+}

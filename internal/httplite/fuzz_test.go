@@ -1,0 +1,60 @@
+package httplite
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequest: the request parser must never panic, and anything it
+// accepts must survive a write/read round trip.
+func FuzzReadRequest(f *testing.F) {
+	f.Add("GET /cache?u=http%3A%2F%2Fx HTTP/1.1\r\nhost: ap\r\ncontent-length: 0\r\n\r\n")
+	f.Add("POST /delegate HTTP/1.1\r\nhost: ap\r\nx-ape-ttl: 30\r\ncontent-length: 5\r\n\r\nhello")
+	f.Add("GARBAGE")
+	f.Add("GET / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		req, err := ReadRequest(bufio.NewReader(strings.NewReader(input)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("accepted request failed to serialize: %v", err)
+		}
+		again, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Method != req.Method || !bytes.Equal(again.Body, req.Body) {
+			t.Fatalf("round trip drift: %q vs %q", again.Method, req.Method)
+		}
+	})
+}
+
+// FuzzReadResponse mirrors FuzzReadRequest for the response parser.
+func FuzzReadResponse(f *testing.F) {
+	f.Add("HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nhi")
+	f.Add("HTTP/1.1 404 Not Found\r\ncontent-length: 0\r\n\r\n")
+	f.Add("NOPE")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(input)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatalf("accepted response failed to serialize: %v", err)
+		}
+		again, err := ReadResponse(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Status != resp.Status || !bytes.Equal(again.Body, resp.Body) {
+			t.Fatalf("round trip drift")
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package httplite
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// countingHandler tracks distinct serving goroutines per connection by
+// counting accepted requests.
+type countingHandler struct {
+	requests int
+}
+
+func (h *countingHandler) ServeHTTP(req *Request) *Response {
+	h.requests++
+	return NewResponse(200, []byte(req.Path))
+}
+
+func TestKeepAliveServesManyRequestsOnOneConnection(t *testing.T) {
+	h := &countingHandler{}
+	simFixture(t, h, func(sim *vclock.Sim, net *simnet.Network) {
+		c := NewClient(net.Node("client"))
+		addr := transport.Addr{Host: "server", Port: 80}
+
+		// Burn the cold handshake once.
+		if _, err := c.Get(addr, "server", "/0"); err != nil {
+			t.Errorf("cold: %v", err)
+			return
+		}
+		start := sim.Now()
+		const n = 20
+		for i := 1; i <= n; i++ {
+			resp, err := c.Get(addr, "server", fmt.Sprintf("/%d", i))
+			if err != nil || string(resp.Body) != fmt.Sprintf("/%d", i) {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+		}
+		// 20 warm requests at exactly one RTT each (10 ms): no extra
+		// handshakes anywhere.
+		if got := sim.Now().Sub(start); got != n*10*time.Millisecond {
+			t.Errorf("%d warm requests took %v, want %v", n, got, n*10*time.Millisecond)
+		}
+		if h.requests != n+1 {
+			t.Errorf("handler saw %d requests, want %d", h.requests, n+1)
+		}
+	})
+}
+
+func TestLargeBodyRoundTrip(t *testing.T) {
+	payload := make([]byte, 2<<20) // 2 MiB
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	h := HandlerFunc(func(*Request) *Response { return NewResponse(200, payload) })
+	simFixture(t, h, func(sim *vclock.Sim, net *simnet.Network) {
+		c := NewClient(net.Node("client"))
+		resp, err := c.Get(transport.Addr{Host: "server", Port: 80}, "server", "/big")
+		if err != nil || !bytes.Equal(resp.Body, payload) {
+			t.Errorf("large body: err=%v len=%d", err, len(resp.Body))
+		}
+	})
+}
+
+func TestPostWithBodyAndCustomHeaders(t *testing.T) {
+	h := HandlerFunc(func(req *Request) *Response {
+		resp := NewResponse(200, req.Body)
+		resp.Set("X-Echo-TTL", req.Get("X-Ape-TTL"))
+		return resp
+	})
+	simFixture(t, h, func(sim *vclock.Sim, net *simnet.Network) {
+		c := NewClient(net.Node("client"))
+		req := NewRequest("POST", "server", "/delegate")
+		req.Body = []byte("http://api.example/obj")
+		req.Set("X-Ape-TTL", "30")
+		resp, err := c.Do(transport.Addr{Host: "server", Port: 80}, req)
+		if err != nil || string(resp.Body) != "http://api.example/obj" || resp.Get("X-Echo-TTL") != "30" {
+			t.Errorf("POST echo failed: %v %+v", err, resp)
+		}
+	})
+}
+
+func TestClientTimeoutSurfacesError(t *testing.T) {
+	// The 3 ms client timeout is below the fixture's 10 ms RTT, so even a
+	// prompt server cannot answer in time.
+	prompt := HandlerFunc(func(req *Request) *Response {
+		return NewResponse(200, nil)
+	})
+	simFixture(t, prompt, func(sim *vclock.Sim, net *simnet.Network) {
+		c := NewClient(net.Node("client"))
+		c.Timeout = 3 * time.Millisecond
+		if _, err := c.Get(transport.Addr{Host: "server", Port: 80}, "server", "/x"); err == nil {
+			t.Error("expected timeout error")
+		}
+	})
+}

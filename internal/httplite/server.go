@@ -1,0 +1,110 @@
+package httplite
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sort"
+	"strings"
+
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// Handler responds to one request.
+type Handler interface {
+	ServeHTTP(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Response
+
+// ServeHTTP implements Handler.
+func (f HandlerFunc) ServeHTTP(req *Request) *Response { return f(req) }
+
+// Mux routes by longest matching path prefix.
+type Mux struct {
+	routes map[string]Handler
+}
+
+var _ Handler = (*Mux)(nil)
+
+// NewMux returns an empty mux; unmatched paths get 404.
+func NewMux() *Mux { return &Mux{routes: make(map[string]Handler)} }
+
+// Handle registers a handler for a path prefix.
+func (m *Mux) Handle(prefix string, h Handler) { m.routes[prefix] = h }
+
+// HandleFunc registers a function for a path prefix.
+func (m *Mux) HandleFunc(prefix string, f func(*Request) *Response) {
+	m.Handle(prefix, HandlerFunc(f))
+}
+
+// ServeHTTP implements Handler.
+func (m *Mux) ServeHTTP(req *Request) *Response {
+	path := req.Path
+	if i := strings.IndexAny(path, "?#"); i >= 0 {
+		path = path[:i]
+	}
+	prefixes := make([]string, 0, len(m.routes))
+	for p := range m.routes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return len(prefixes[i]) > len(prefixes[j]) })
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return m.routes[p].ServeHTTP(req)
+		}
+	}
+	return NewResponse(404, []byte("not found"))
+}
+
+// Server serves HTTP over a transport listener with keep-alive
+// connections, one task per connection.
+type Server struct {
+	env     vclock.Env
+	handler Handler
+}
+
+// NewServer builds a server around the handler.
+func NewServer(env vclock.Env, h Handler) *Server {
+	return &Server{env: env, handler: h}
+}
+
+// Serve accepts connections until the listener is closed. It blocks, so
+// callers normally run it via env.Go.
+func (s *Server) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.env.Go("httplite.conn", func() { s.serveConn(conn) })
+	}
+}
+
+// serveConn handles one keep-alive connection.
+func (s *Server) serveConn(conn transport.Stream) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadRequest(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
+				// Malformed request: best-effort error response.
+				_ = WriteResponse(conn, NewResponse(400, nil))
+			}
+			return
+		}
+		resp := s.handler.ServeHTTP(req)
+		if resp == nil {
+			resp = NewResponse(500, nil)
+		}
+		if err := WriteResponse(conn, resp); err != nil {
+			return
+		}
+		if strings.EqualFold(req.Get("connection"), "close") {
+			return
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package metrics provides the small measurement toolkit used by the
+// experiment harness: latency statistics (mean and percentiles), hit-ratio
+// counters split by priority class, and sampled time series for resource
+// usage plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats accumulates duration samples and reports summary
+// statistics. The zero value is ready to use.
+type LatencyStats struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *LatencyStats) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *LatencyStats) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or zero with no samples.
+func (s *LatencyStats) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or zero with no samples.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.samples) {
+		rank = len(s.samples)
+	}
+	return s.samples[rank-1]
+}
+
+// P95 is the 95th-percentile tail latency reported throughout the paper.
+func (s *LatencyStats) P95() time.Duration { return s.Percentile(95) }
+
+// Min returns the smallest sample.
+func (s *LatencyStats) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.Percentile(0.0001)
+}
+
+// Max returns the largest sample.
+func (s *LatencyStats) Max() time.Duration { return s.Percentile(100) }
+
+// Merge folds other's samples into s.
+func (s *LatencyStats) Merge(other *LatencyStats) {
+	s.samples = append(s.samples, other.samples...)
+	s.sorted = false
+}
+
+// String renders "mean/p95 (n)" for logs.
+func (s *LatencyStats) String() string {
+	return fmt.Sprintf("mean=%v p95=%v n=%d", s.Mean().Round(10*time.Microsecond), s.P95().Round(10*time.Microsecond), s.Count())
+}
+
+// RatioCounter tracks a hit/miss ratio. The zero value is ready to use.
+type RatioCounter struct {
+	hits, total int
+}
+
+// Record adds one observation.
+func (r *RatioCounter) Record(hit bool) {
+	r.total++
+	if hit {
+		r.hits++
+	}
+}
+
+// Hits returns the number of positive observations.
+func (r *RatioCounter) Hits() int { return r.hits }
+
+// Total returns the number of observations.
+func (r *RatioCounter) Total() int { return r.total }
+
+// Ratio returns hits/total, or zero with no observations.
+func (r *RatioCounter) Ratio() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(r.total)
+}
+
+// Merge folds other's counts into r.
+func (r *RatioCounter) Merge(other *RatioCounter) {
+	r.hits += other.hits
+	r.total += other.total
+}
+
+// HitStats tracks cache hit ratios overall and for the high-priority
+// class, matching the PACM-Avg / PACM-High-Priority columns of
+// Tables IV–VI.
+type HitStats struct {
+	All  RatioCounter
+	High RatioCounter
+}
+
+// Record adds one lookup observation for an object of the given priority.
+func (h *HitStats) Record(priority int, hit bool) {
+	h.All.Record(hit)
+	if priority >= 2 {
+		h.High.Record(hit)
+	}
+}
+
+// Merge folds other's counts into h.
+func (h *HitStats) Merge(other *HitStats) {
+	h.All.Merge(&other.All)
+	h.High.Merge(&other.High)
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// TimeSeries is an append-only sampled series (CPU %, memory bytes, …).
+type TimeSeries struct {
+	points []Point
+}
+
+// Sample appends one point.
+func (ts *TimeSeries) Sample(t time.Time, v float64) {
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Points returns the recorded samples (not a copy; treat as read-only).
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// Mean returns the average value.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range ts.points {
+		sum += p.V
+	}
+	return sum / float64(len(ts.points))
+}
+
+// Max returns the maximum value.
+func (ts *TimeSeries) Max() float64 {
+	var max float64
+	for _, p := range ts.points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyStatsMeanAndPercentiles(t *testing.T) {
+	var s LatencyStats
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", got)
+	}
+	if got := s.P95(); got != 95*time.Millisecond {
+		t.Errorf("P95 = %v, want 95ms", got)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", got)
+	}
+	if got := s.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	if got := s.Min(); got != time.Millisecond {
+		t.Errorf("Min = %v, want 1ms", got)
+	}
+}
+
+func TestLatencyStatsEmpty(t *testing.T) {
+	var s LatencyStats
+	if s.Mean() != 0 || s.P95() != 0 || s.Count() != 0 {
+		t.Error("empty stats should report zeros")
+	}
+}
+
+func TestLatencyStatsAddAfterPercentileKeepsConsistency(t *testing.T) {
+	var s LatencyStats
+	s.Add(3 * time.Millisecond)
+	s.Add(time.Millisecond)
+	_ = s.P95() // triggers sorting
+	s.Add(2 * time.Millisecond)
+	if got := s.Percentile(50); got != 2*time.Millisecond {
+		t.Errorf("P50 = %v, want 2ms", got)
+	}
+}
+
+func TestPercentileWithinSampleRangeProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s LatencyStats
+		vals := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			vals[i] = time.Duration(v) * time.Microsecond
+			s.Add(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		p := float64(pRaw%100) + 1
+		got := s.Percentile(p)
+		return got >= vals[0] && got <= vals[len(vals)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyStatsMerge(t *testing.T) {
+	var a, b LatencyStats
+	a.Add(10 * time.Millisecond)
+	b.Add(30 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 20*time.Millisecond {
+		t.Errorf("after merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestRatioCounter(t *testing.T) {
+	var r RatioCounter
+	if r.Ratio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Record(true)
+	r.Record(true)
+	r.Record(false)
+	if r.Ratio() < 0.66 || r.Ratio() > 0.67 {
+		t.Errorf("Ratio = %f, want 2/3", r.Ratio())
+	}
+	if r.Hits() != 2 || r.Total() != 3 {
+		t.Errorf("hits=%d total=%d", r.Hits(), r.Total())
+	}
+}
+
+func TestHitStatsSplitsPriorities(t *testing.T) {
+	var h HitStats
+	h.Record(1, true)
+	h.Record(2, true)
+	h.Record(2, false)
+	if h.All.Total() != 3 || h.High.Total() != 2 {
+		t.Errorf("totals all=%d high=%d", h.All.Total(), h.High.Total())
+	}
+	if h.High.Ratio() != 0.5 {
+		t.Errorf("high ratio = %f, want 0.5", h.High.Ratio())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	ts.Sample(base, 10)
+	ts.Sample(base.Add(time.Second), 30)
+	if ts.Mean() != 20 {
+		t.Errorf("Mean = %f, want 20", ts.Mean())
+	}
+	if ts.Max() != 30 {
+		t.Errorf("Max = %f, want 30", ts.Max())
+	}
+	if len(ts.Points()) != 2 {
+		t.Errorf("Points = %d, want 2", len(ts.Points()))
+	}
+}
+
+func TestRatioCounterMerge(t *testing.T) {
+	var a, b RatioCounter
+	a.Record(true)
+	b.Record(false)
+	b.Record(true)
+	a.Merge(&b)
+	if a.Total() != 3 || a.Hits() != 2 {
+		t.Errorf("after merge: hits=%d total=%d", a.Hits(), a.Total())
+	}
+}
+
+func TestHitStatsMerge(t *testing.T) {
+	var a, b HitStats
+	a.Record(2, true)
+	b.Record(2, false)
+	b.Record(1, true)
+	a.Merge(&b)
+	if a.All.Total() != 3 || a.High.Total() != 2 {
+		t.Errorf("after merge: all=%d high=%d", a.All.Total(), a.High.Total())
+	}
+	if a.High.Hits() != 1 {
+		t.Errorf("high hits = %d", a.High.Hits())
+	}
+}
+
+func TestLatencyStatsStringFormat(t *testing.T) {
+	var s LatencyStats
+	s.Add(10 * time.Millisecond)
+	out := s.String()
+	if out == "" || s.Count() != 1 {
+		t.Errorf("String = %q", out)
+	}
+}

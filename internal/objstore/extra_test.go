@@ -1,0 +1,72 @@
+package objstore
+
+import (
+	"testing"
+	"time"
+
+	"apecache/internal/httplite"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+func TestOriginChargesOriginDelay(t *testing.T) {
+	o := obj("http://api.slow.example/data", "slow", 512, PriorityLow, 40*time.Millisecond)
+	catalog := NewCatalog(o)
+	sim := vclock.NewSim(time.Time{})
+	net := simnet.New(sim, 1)
+	net.SetLink("client", "origin", simnet.Path{Latency: time.Millisecond})
+	sim.Run("main", func() {
+		origin := NewOriginServer(sim, catalog)
+		if _, err := origin.Run(net.Node("origin"), 80); err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		c := httplite.NewClient(net.Node("client"))
+		start := sim.Now()
+		resp, err := c.Get(transport.Addr{Host: "origin", Port: 80}, "api.slow.example", "/data")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("get: %v %v", resp, err)
+			return
+		}
+		// Handshake (2ms) + request/response (2ms) + origin delay (40ms).
+		if got := sim.Now().Sub(start); got != 44*time.Millisecond {
+			t.Errorf("origin fetch took %v, want 44ms", got)
+		}
+		if resp.Get("X-Ape-Source") != "origin" {
+			t.Errorf("source = %q", resp.Get("X-Ape-Source"))
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogAddReplacesByURL(t *testing.T) {
+	a := obj("http://x.example/o", "x", 100, PriorityLow, 0)
+	b := obj("http://x.example/o", "x", 200, PriorityHigh, 0)
+	c := NewCatalog(a)
+	c.Add(b)
+	got, ok := c.Lookup("http://x.example/o")
+	if !ok || got.Size != 200 {
+		t.Errorf("Lookup after replace = %+v", got)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	o := obj("http://api.acc.example/path/to/obj", "acc", 64, PriorityHigh, 0)
+	if o.Domain() != "api.acc.example" {
+		t.Errorf("Domain = %q", o.Domain())
+	}
+	if o.Path() != "/path/to/obj" {
+		t.Errorf("Path = %q", o.Path())
+	}
+	if o.Hash() == 0 {
+		t.Error("Hash = 0")
+	}
+	if len(o.Body()) != 64 {
+		t.Errorf("Body len = %d", len(o.Body()))
+	}
+}

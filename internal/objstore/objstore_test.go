@@ -1,0 +1,196 @@
+package objstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"apecache/internal/httplite"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+func obj(url, app string, size int, prio int, delay time.Duration) *Object {
+	return &Object{URL: url, App: app, Size: size, TTL: 30 * time.Minute, Priority: prio, OriginDelay: delay}
+}
+
+func TestBodyDeterministicAndURLUnique(t *testing.T) {
+	a := BodyFor("http://x/a", 1024)
+	b := BodyFor("http://x/a", 1024)
+	c := BodyFor("http://x/b", 1024)
+	if !bytes.Equal(a, b) {
+		t.Error("body not deterministic")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different URLs share a body")
+	}
+	if len(BodyFor("u", 0)) != 0 {
+		t.Error("zero size should give empty body")
+	}
+}
+
+func TestBodySizeProperty(t *testing.T) {
+	f := func(n uint16) bool { return len(BodyFor("u", int(n))) == int(n) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	o1 := obj("http://api.movie.example/id", "movie", 100, PriorityHigh, 0)
+	o2 := obj("http://api.movie.example/cast", "movie", 200, PriorityLow, 0)
+	o3 := obj("http://cdn.ar.example/model", "ar", 300, PriorityHigh, 0)
+	c := NewCatalog(o1, o2, o3)
+
+	if got, ok := c.Lookup("http://api.movie.example/id?name=dune"); !ok || got != o1 {
+		t.Error("Lookup with query params should strip them")
+	}
+	if got, ok := c.LookupRequest("API.MOVIE.EXAMPLE", "/cast?x=1"); !ok || got != o2 {
+		t.Error("LookupRequest should be case-insensitive on host and strip query")
+	}
+	if _, ok := c.LookupRequest("api.movie.example", "/nope"); ok {
+		t.Error("unknown path should miss")
+	}
+	if len(c.Domains()) != 2 || c.Len() != 3 {
+		t.Errorf("domains=%d len=%d", len(c.Domains()), c.Len())
+	}
+	if len(c.ByDomain("api.movie.example")) != 2 {
+		t.Error("ByDomain wrong")
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	good := NewCatalog(obj("http://a.example/x", "a", 10, PriorityLow, 0))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid catalog rejected: %v", err)
+	}
+	for _, bad := range []*Object{
+		{URL: "http://a.example/x", App: "a", Size: 0, TTL: time.Minute, Priority: 1},
+		{URL: "http://a.example/x", App: "a", Size: 1, TTL: time.Minute, Priority: 3},
+		{URL: "http://a.example/x", App: "a", Size: 1, TTL: 0, Priority: 1},
+	} {
+		if err := NewCatalog(bad).Validate(); err == nil {
+			t.Errorf("catalog with %+v passed validation", bad)
+		}
+	}
+}
+
+// edgeFixture wires client -- edge -- origin over simnet.
+func edgeFixture(t *testing.T, catalog *Catalog, fn func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer)) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	net := simnet.New(sim, 5)
+	net.SetLink("client", "edge", simnet.Path{Latency: 7 * time.Millisecond, Hops: 7})
+	net.SetLink("edge", "origin", simnet.Path{Latency: 25 * time.Millisecond, Hops: 10})
+	sim.Run("main", func() {
+		origin := NewOriginServer(sim, catalog)
+		if _, err := origin.Run(net.Node("origin"), 80); err != nil {
+			t.Errorf("origin.Run: %v", err)
+			return
+		}
+		edge := NewEdgeCacheServer(sim, net.Node("edge"), catalog, transport.Addr{Host: "origin", Port: 80})
+		if _, err := edge.Run(net.Node("edge"), 80); err != nil {
+			t.Errorf("edge.Run: %v", err)
+			return
+		}
+		fn(sim, net, edge, origin)
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func TestEdgeFetchThroughAndCache(t *testing.T) {
+	o := obj("http://api.app.example/data", "app", 4096, PriorityHigh, 30*time.Millisecond)
+	catalog := NewCatalog(o)
+	edgeFixture(t, catalog, func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer) {
+		c := httplite.NewClient(net.Node("client"))
+		addr := transport.Addr{Host: "edge", Port: 80}
+
+		start := sim.Now()
+		resp, err := c.Get(addr, "api.app.example", "/data")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("cold get: %v %v", resp, err)
+			return
+		}
+		cold := sim.Now().Sub(start)
+		if !bytes.Equal(resp.Body, o.Body()) {
+			t.Error("cold body corrupted")
+		}
+		if resp.Get("X-Ape-Source") != "edge" {
+			t.Errorf("source = %q", resp.Get("X-Ape-Source"))
+		}
+
+		start = sim.Now()
+		resp, err = c.Get(addr, "api.app.example", "/data")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("warm get: %v %v", resp, err)
+			return
+		}
+		warm := sim.Now().Sub(start)
+		if !bytes.Equal(resp.Body, o.Body()) {
+			t.Error("warm body corrupted")
+		}
+		// Warm must skip the origin round trip and its 30 ms delay.
+		if warm >= cold-50*time.Millisecond {
+			t.Errorf("warm=%v cold=%v: edge cache not effective", warm, cold)
+		}
+		if edge.Hits != 1 || edge.Misses != 1 || origin.Requests != 1 {
+			t.Errorf("hits=%d misses=%d origin=%d", edge.Hits, edge.Misses, origin.Requests)
+		}
+	})
+}
+
+func TestEdgeRespectsTTLExpiry(t *testing.T) {
+	o := obj("http://api.app.example/data", "app", 64, PriorityLow, 0)
+	o.TTL = time.Minute
+	catalog := NewCatalog(o)
+	edgeFixture(t, catalog, func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer) {
+		c := httplite.NewClient(net.Node("client"))
+		addr := transport.Addr{Host: "edge", Port: 80}
+		if _, err := c.Get(addr, "api.app.example", "/data"); err != nil {
+			t.Errorf("get1: %v", err)
+			return
+		}
+		sim.Sleep(2 * time.Minute) // past TTL
+		if _, err := c.Get(addr, "api.app.example", "/data"); err != nil {
+			t.Errorf("get2: %v", err)
+			return
+		}
+		if origin.Requests != 2 {
+			t.Errorf("origin requests = %d, want 2 (expired entry refetched)", origin.Requests)
+		}
+	})
+}
+
+func TestEdgePrepopulateServesWithoutOrigin(t *testing.T) {
+	o := obj("http://api.app.example/data", "app", 64, PriorityLow, 0)
+	catalog := NewCatalog(o)
+	edgeFixture(t, catalog, func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer) {
+		edge.Prepopulate()
+		c := httplite.NewClient(net.Node("client"))
+		resp, err := c.Get(transport.Addr{Host: "edge", Port: 80}, "api.app.example", "/data")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("get: %v %v", resp, err)
+			return
+		}
+		if origin.Requests != 0 {
+			t.Errorf("origin touched %d times after prepopulate", origin.Requests)
+		}
+	})
+}
+
+func TestOriginUnknownObject404(t *testing.T) {
+	catalog := NewCatalog()
+	edgeFixture(t, catalog, func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer) {
+		c := httplite.NewClient(net.Node("client"))
+		resp, err := c.Get(transport.Addr{Host: "edge", Port: 80}, "nothere.example", "/x")
+		if err != nil || resp.Status != 404 {
+			t.Errorf("resp = %v, %v; want 404", resp, err)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package realnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"apecache/internal/transport"
+)
+
+func TestStreamEchoOverLoopback(t *testing.T) {
+	h := NewHost("")
+	l, err := h.Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		buf := make([]byte, 16)
+		n, err := s.Read(buf)
+		if err != nil {
+			return
+		}
+		_, _ = s.Write(buf[:n])
+	}()
+
+	c, err := h.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("Read = %q, %v; want ping", buf[:n], err)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	h := NewHost("")
+	srv, err := h.ListenPacket(0)
+	if err != nil {
+		t.Fatalf("ListenPacket: %v", err)
+	}
+	defer srv.Close()
+	cli, err := h.ListenPacket(0)
+	if err != nil {
+		t.Fatalf("ListenPacket: %v", err)
+	}
+	defer cli.Close()
+
+	if err := cli.WriteTo([]byte("query"), srv.Addr()); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	pkt, err := srv.ReadFromTimeout(2 * time.Second)
+	if err != nil || string(pkt.Payload) != "query" {
+		t.Fatalf("ReadFrom = %q, %v", pkt.Payload, err)
+	}
+	if err := srv.WriteTo([]byte("reply"), pkt.From); err != nil {
+		t.Fatalf("reply: %v", err)
+	}
+	back, err := cli.ReadFromTimeout(2 * time.Second)
+	if err != nil || string(back.Payload) != "reply" {
+		t.Fatalf("reply = %q, %v", back.Payload, err)
+	}
+}
+
+func TestPacketReadTimeout(t *testing.T) {
+	h := NewHost("")
+	pc, err := h.ListenPacket(0)
+	if err != nil {
+		t.Fatalf("ListenPacket: %v", err)
+	}
+	defer pc.Close()
+	if _, err := pc.ReadFromTimeout(30 * time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestStreamReadTimeout(t *testing.T) {
+	h := NewHost("")
+	l, err := h.Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		time.Sleep(300 * time.Millisecond)
+	}()
+	c, err := h.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadTimeout(30 * time.Millisecond)
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestEOFAfterPeerClose(t *testing.T) {
+	h := NewHost("")
+	l, err := h.Listen(0)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		s, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_, _ = s.Write([]byte("bye"))
+		s.Close()
+	}()
+	c, err := h.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	data, err := io.ReadAll(c)
+	if err != nil || string(data) != "bye" {
+		t.Fatalf("ReadAll = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package resmodel models the CPU and memory consumption of the paper's
+// WiFi router (GL-MT1300: MT7621A @ 880 MHz dual-core, 256 MB RAM). A
+// calibrated cost-per-operation model substitutes for the physical
+// measurements of Fig 2 (traffic replay) and Fig 14 (APE-CACHE overhead):
+// every forwarded packet, DNS query, DNS-Cache query, served object,
+// delegation and PACM run charges CPU time and memory to the model, and a
+// sampler turns the charges into utilization time series.
+package resmodel
+
+import (
+	"time"
+
+	"apecache/internal/apcache"
+	"apecache/internal/metrics"
+	"apecache/internal/traffic"
+)
+
+// Router hardware constants (GL-MT1300).
+const (
+	// TotalMemBytes is the router's RAM.
+	TotalMemBytes = 256 << 20
+	// CPUCores is the MT7621A's core count (2 cores / 4 threads; we
+	// model 2 scheduling cores and report utilization of the whole SoC).
+	CPUCores = 2
+)
+
+// Costs calibrates per-operation charges. The defaults reproduce the
+// shapes of Fig 2 and Fig 14 on the MT7621A: software forwarding on a
+// 880 MHz MIPS core costs on the order of 100 µs of core time per packet,
+// dnsmasq a few hundred µs per query, and PACM a small per-entry scan.
+type Costs struct {
+	CPUPerPacket     time.Duration // software forwarding, per packet
+	CPUPerKBForward  time.Duration // payload copy cost per KiB forwarded
+	CPUPerDNSQuery   time.Duration // stock dnsmasq handling
+	CPUPerCacheQuery time.Duration // DNS-Cache handling (flags + RR build)
+	CPUPerServeKB    time.Duration // serving a cached object, per KiB
+	CPUPerDelegateKB time.Duration // delegation fetch+store, per KiB
+	CPUPerPACMEntry  time.Duration // eviction scan, per resident entry
+
+	MemBase        int64 // OS + stock firmware resident set
+	MemPerFlow     int64 // conntrack entry
+	MemPerPacketIO int64 // transient buffer charged per in-flight packet
+	MemAPERuntime  int64 // APE-CACHE code + tables (beyond the object cache)
+}
+
+// DefaultCosts returns the calibrated model.
+func DefaultCosts() Costs {
+	return Costs{
+		CPUPerPacket:     200 * time.Microsecond,
+		CPUPerKBForward:  9 * time.Microsecond,
+		CPUPerDNSQuery:   350 * time.Microsecond,
+		CPUPerCacheQuery: 420 * time.Microsecond,
+		CPUPerServeKB:    22 * time.Microsecond,
+		CPUPerDelegateKB: 30 * time.Microsecond,
+		CPUPerPACMEntry:  6 * time.Microsecond,
+
+		MemBase:        96 << 20,
+		MemPerFlow:     640,
+		MemPerPacketIO: 2048,
+		MemAPERuntime:  4 << 20,
+	}
+}
+
+// Clock provides current time for sampling (vclock.Clock satisfies it).
+type Clock interface{ Now() time.Time }
+
+// Router accumulates charges and produces utilization series.
+type Router struct {
+	clock Clock
+	costs Costs
+
+	busy       time.Duration // CPU time charged since the last sample
+	flows      map[int]time.Time
+	flowTTL    time.Duration
+	extraMem   int64 // steady extra memory (cache bytes etc.), set by caller
+	apeEnabled bool
+
+	// CPU is sampled utilization in percent of the whole SoC; Mem in MB.
+	CPU metrics.TimeSeries
+	Mem metrics.TimeSeries
+
+	lastSample time.Time
+}
+
+// NewRouter builds a model with the given costs.
+func NewRouter(clock Clock, costs Costs) *Router {
+	return &Router{
+		clock:      clock,
+		costs:      costs,
+		flows:      make(map[int]time.Time),
+		flowTTL:    30 * time.Second,
+		lastSample: clock.Now(),
+	}
+}
+
+// EnableAPE marks the APE-CACHE runtime resident (adds its code/runtime
+// memory to every sample).
+func (r *Router) EnableAPE() { r.apeEnabled = true }
+
+// SetCacheBytes records the current AP object-cache occupancy (charged as
+// steady memory).
+func (r *Router) SetCacheBytes(n int64) { r.extraMem = n }
+
+var _ apcache.ResourceSink = (*Router)(nil)
+
+// Account implements apcache.ResourceSink.
+func (r *Router) Account(op apcache.OpKind, n int) {
+	switch op {
+	case apcache.OpDNSQuery:
+		r.busy += r.costs.CPUPerDNSQuery
+	case apcache.OpDNSCacheQuery:
+		r.busy += r.costs.CPUPerCacheQuery
+	case apcache.OpCacheServe:
+		r.busy += time.Duration(n/1024+1) * r.costs.CPUPerServeKB
+	case apcache.OpDelegation:
+		r.busy += time.Duration(n/1024+1) * r.costs.CPUPerDelegateKB
+	case apcache.OpPACMRun:
+		r.busy += time.Duration(n) * r.costs.CPUPerPACMEntry
+	}
+}
+
+// Forward charges the forwarding cost of relaying n payload bytes through
+// the router (approximated as MTU-sized packets both directions).
+func (r *Router) Forward(n int) {
+	packets := n/1400 + 2 // data packets + request/ack overhead
+	r.busy += time.Duration(packets) * r.costs.CPUPerPacket
+	r.busy += time.Duration(n/1024) * r.costs.CPUPerKBForward
+}
+
+// ForwardPacket charges one trace packet and tracks its flow.
+func (r *Router) ForwardPacket(p traffic.Packet, at time.Time) {
+	r.busy += r.costs.CPUPerPacket
+	r.busy += time.Duration(p.Size/1024) * r.costs.CPUPerKBForward
+	r.flows[p.Flow] = at
+}
+
+// Sample records one utilization data point covering the interval since
+// the previous sample.
+func (r *Router) Sample() {
+	now := r.clock.Now()
+	interval := now.Sub(r.lastSample)
+	if interval <= 0 {
+		return
+	}
+	cpu := float64(r.busy) / float64(interval) / CPUCores * 100
+	if cpu > 100 {
+		cpu = 100
+	}
+	r.busy = 0
+	r.lastSample = now
+
+	// Expire idle flows.
+	for f, last := range r.flows {
+		if now.Sub(last) > r.flowTTL {
+			delete(r.flows, f)
+		}
+	}
+	mem := r.costs.MemBase + int64(len(r.flows))*r.costs.MemPerFlow + r.extraMem
+	// Transient I/O buffers scale with instantaneous load.
+	mem += int64(cpu / 100 * 4096 * float64(r.costs.MemPerPacketIO))
+	if r.apeEnabled {
+		mem += r.costs.MemAPERuntime
+	}
+	if mem > TotalMemBytes {
+		mem = TotalMemBytes
+	}
+	r.CPU.Sample(now, cpu)
+	r.Mem.Sample(now, float64(mem)/(1<<20))
+}
+
+// ReplayResult summarizes a trace replay (Fig 2).
+type ReplayResult struct {
+	CPU metrics.TimeSeries
+	Mem metrics.TimeSeries
+}
+
+// Replay runs a trace through a fresh router model, sampling every
+// sampleEvery of trace time, without any wall-clock or virtual-clock
+// cost (the replay is purely analytical).
+func Replay(trace *traffic.Trace, costs Costs, sampleEvery time.Duration) ReplayResult {
+	clk := &manualClock{}
+	r := NewRouter(clk, costs)
+	next := sampleEvery
+	for _, pkt := range trace.Packets {
+		for pkt.At >= next {
+			clk.now = clk.base.Add(next)
+			r.Sample()
+			next += sampleEvery
+		}
+		r.ForwardPacket(pkt, clk.base.Add(pkt.At))
+	}
+	for next <= trace.Profile.Duration {
+		clk.now = clk.base.Add(next)
+		r.Sample()
+		next += sampleEvery
+	}
+	return ReplayResult{CPU: r.CPU, Mem: r.Mem}
+}
+
+// manualClock lets Replay advance time analytically.
+type manualClock struct {
+	base time.Time
+	now  time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	if c.now.IsZero() {
+		return c.base
+	}
+	return c.now
+}

@@ -1,0 +1,97 @@
+package resmodel
+
+import (
+	"testing"
+	"time"
+
+	"apecache/internal/apcache"
+	"apecache/internal/traffic"
+	"apecache/internal/vclock"
+)
+
+func TestReplayShowsHeadroomOnBothTraces(t *testing.T) {
+	costs := DefaultCosts()
+	low := Replay(traffic.Generate(traffic.LowRate, 1), costs, 5*time.Second)
+	high := Replay(traffic.Generate(traffic.HighRate, 1), costs, 5*time.Second)
+
+	// Fig 2's finding: even under high traffic, CPU stays well below 50%
+	// and memory below half of 256 MB.
+	if max := high.CPU.Max(); max >= 50 {
+		t.Errorf("high-rate CPU max = %.1f%%, want < 50%%", max)
+	}
+	if max := high.Mem.Max(); max >= 128 {
+		t.Errorf("high-rate mem max = %.1f MB, want < 128 MB", max)
+	}
+	// And the high-rate load clearly exceeds the low-rate load.
+	if high.CPU.Mean() <= low.CPU.Mean()*5 {
+		t.Errorf("high CPU mean %.2f%% should dwarf low %.2f%%", high.CPU.Mean(), low.CPU.Mean())
+	}
+	if high.Mem.Mean() <= low.Mem.Mean() {
+		t.Errorf("high mem mean %.1f should exceed low %.1f", high.Mem.Mean(), low.Mem.Mean())
+	}
+	// Memory hovers above the base set (≈96 MB idle).
+	if low.Mem.Mean() < 90 {
+		t.Errorf("low mem mean %.1f MB below base set", low.Mem.Mean())
+	}
+	if got := len(high.CPU.Points()); got < 50 {
+		t.Errorf("only %d samples over 5 minutes", got)
+	}
+}
+
+func TestRouterAccountsAPEOperations(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	r := NewRouter(sim, DefaultCosts())
+	r.EnableAPE()
+	sim.Run("main", func() {
+		for range 100 {
+			r.Account(apcache.OpDNSCacheQuery, 0)
+			r.Account(apcache.OpCacheServe, 50<<10)
+			r.Account(apcache.OpPACMRun, 80)
+		}
+		r.SetCacheBytes(5 << 20)
+		sim.Sleep(10 * time.Second)
+		r.Sample()
+	})
+	if r.CPU.Mean() <= 0 {
+		t.Error("no CPU charged for APE operations")
+	}
+	// Memory must include base + cache + APE runtime.
+	if r.Mem.Mean() < 96+5+4-1 {
+		t.Errorf("mem = %.1f MB, want >= base+cache+runtime", r.Mem.Mean())
+	}
+}
+
+func TestSampleResetsBusyWindow(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	r := NewRouter(sim, DefaultCosts())
+	sim.Run("main", func() {
+		r.Forward(1 << 20)
+		sim.Sleep(time.Second)
+		r.Sample()
+		first := r.CPU.Points()[0].V
+		if first <= 0 {
+			t.Error("first sample should show load")
+		}
+		sim.Sleep(time.Second)
+		r.Sample()
+		second := r.CPU.Points()[1].V
+		if second != 0 {
+			t.Errorf("idle window CPU = %f, want 0", second)
+		}
+	})
+}
+
+func TestCPUCappedAt100(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	r := NewRouter(sim, DefaultCosts())
+	sim.Run("main", func() {
+		for range 1_000_000 {
+			r.Account(apcache.OpDNSQuery, 0)
+		}
+		sim.Sleep(time.Second)
+		r.Sample()
+	})
+	if got := r.CPU.Max(); got > 100 {
+		t.Errorf("CPU = %f, want capped at 100", got)
+	}
+}

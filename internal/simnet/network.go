@@ -1,0 +1,156 @@
+// Package simnet is a discrete-event network simulator running under the
+// internal/vclock virtual clock. It models named nodes connected by
+// directed paths with one-way propagation latency, uniform jitter, hop
+// counts, datagram loss and finite bandwidth, and exposes the
+// internal/transport interfaces so that the APE-CACHE protocol stack runs
+// unmodified over it.
+//
+// The simulator substitutes for the paper's physical testbed (GL-MT1300
+// router, phones, a 7-hop edge server and a 12-hop EC2 controller): every
+// reported metric in the paper is a function of protocol behaviour plus
+// link characteristics, both of which are reproduced here.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// Path describes the directed network characteristics from one node to
+// another.
+type Path struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter) per message.
+	Jitter time.Duration
+	// Hops is the number of routers crossed one-way (reported by
+	// traceroute simulation; it does not itself add delay — fold any
+	// per-hop cost into Latency).
+	Hops int
+	// Loss is the per-datagram drop probability in [0, 1). Streams are
+	// not subject to loss (TCP retransmission is abstracted away).
+	Loss float64
+	// Bandwidth in bytes per second bounds throughput; 0 means unlimited.
+	Bandwidth int64
+}
+
+// sample returns one propagation delay draw.
+func (p Path) sample(rng *rand.Rand) time.Duration {
+	d := p.Latency
+	if p.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(p.Jitter)))
+	}
+	return d
+}
+
+// serialization returns the transmission delay of n bytes.
+func (p Path) serialization(n int) time.Duration {
+	if p.Bandwidth <= 0 || n == 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.Bandwidth) * float64(time.Second))
+}
+
+// Network is a collection of nodes and the paths between them. It must be
+// used only from tasks of its simulation (the single-floor scheduler makes
+// internal locking unnecessary), except for topology setup before Run.
+type Network struct {
+	sim         *vclock.Sim
+	rng         *rand.Rand
+	nodes       map[string]*Node
+	paths       map[pathKey]Path
+	defaultPath Path
+}
+
+type pathKey struct{ from, to string }
+
+// New creates an empty network on the given simulation. The seed makes
+// jitter and loss draws reproducible.
+func New(sim *vclock.Sim, seed int64) *Network {
+	return &Network{
+		sim:   sim,
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[string]*Node),
+		paths: make(map[pathKey]Path),
+		defaultPath: Path{
+			Latency: 500 * time.Microsecond,
+			Hops:    1,
+		},
+	}
+}
+
+// Sim returns the simulation driving this network.
+func (n *Network) Sim() *vclock.Sim { return n.sim }
+
+// Node returns the named node, creating it on first use.
+func (n *Network) Node(name string) *Node {
+	if nd, ok := n.nodes[name]; ok {
+		return nd
+	}
+	nd := &Node{
+		net:       n,
+		name:      name,
+		listeners: make(map[uint16]*listener),
+		packets:   make(map[uint16]*packetConn),
+		ephemeral: 49152,
+	}
+	n.nodes[name] = nd
+	return nd
+}
+
+// SetPath installs the directed path a -> b.
+func (n *Network) SetPath(a, b string, p Path) {
+	n.paths[pathKey{a, b}] = p
+}
+
+// SetLink installs the symmetric path between a and b.
+func (n *Network) SetLink(a, b string, p Path) {
+	n.SetPath(a, b, p)
+	n.SetPath(b, a, p)
+}
+
+// SetDefaultPath sets the path used between node pairs with no explicit
+// entry.
+func (n *Network) SetDefaultPath(p Path) { n.defaultPath = p }
+
+// PathBetween returns the effective directed path a -> b.
+func (n *Network) PathBetween(a, b string) Path {
+	if a == b {
+		return Path{Latency: 30 * time.Microsecond} // loopback
+	}
+	if p, ok := n.paths[pathKey{a, b}]; ok {
+		return p
+	}
+	return n.defaultPath
+}
+
+// Ping performs a simulated ICMP echo from a to b, consuming one RTT of
+// virtual time, and returns the measured RTT.
+func (n *Network) Ping(a, b string) time.Duration {
+	fwd := n.PathBetween(a, b).sample(n.rng)
+	back := n.PathBetween(b, a).sample(n.rng)
+	rtt := fwd + back
+	n.sim.Sleep(rtt)
+	return rtt
+}
+
+// Hops reports the one-way hop count from a to b (traceroute equivalent).
+func (n *Network) Hops(a, b string) int { return n.PathBetween(a, b).Hops }
+
+// mapQueueErr converts vclock queue errors to transport errors.
+func mapQueueErr(err error) error {
+	switch err {
+	case nil:
+		return nil
+	case vclock.ErrClosed:
+		return transport.ErrClosed
+	case vclock.ErrTimeout:
+		return transport.ErrTimeout
+	default:
+		return fmt.Errorf("simnet: %w", err)
+	}
+}

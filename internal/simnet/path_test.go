@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+func TestSerializationDelayMath(t *testing.T) {
+	p := Path{Bandwidth: 1 << 20} // 1 MiB/s
+	if got := p.serialization(1 << 20); got != time.Second {
+		t.Errorf("1MiB at 1MiB/s = %v, want 1s", got)
+	}
+	if got := p.serialization(0); got != 0 {
+		t.Errorf("0 bytes = %v, want 0", got)
+	}
+	unlimited := Path{}
+	if got := unlimited.serialization(1 << 30); got != 0 {
+		t.Errorf("unlimited bandwidth = %v, want 0", got)
+	}
+}
+
+func TestDefaultPathAppliesToUnknownPairs(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	net := New(sim, 1)
+	net.SetDefaultPath(Path{Latency: 9 * time.Millisecond, Hops: 4})
+	sim.Run("main", func() {
+		if rtt := net.Ping("x", "y"); rtt != 18*time.Millisecond {
+			t.Errorf("default-path RTT = %v, want 18ms", rtt)
+		}
+		if h := net.Hops("x", "y"); h != 4 {
+			t.Errorf("default hops = %d, want 4", h)
+		}
+	})
+}
+
+func TestAsymmetricPaths(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	net := New(sim, 1)
+	net.SetPath("a", "b", Path{Latency: 2 * time.Millisecond})
+	net.SetPath("b", "a", Path{Latency: 8 * time.Millisecond})
+	sim.Run("main", func() {
+		srv, _ := net.Node("b").ListenPacket(9)
+		cli, _ := net.Node("a").ListenPacket(0)
+		start := sim.Now()
+		_ = cli.WriteTo([]byte("x"), transport.Addr{Host: "b", Port: 9})
+		pkt, err := srv.ReadFrom()
+		if err != nil {
+			t.Errorf("fwd: %v", err)
+			return
+		}
+		if got := sim.Now().Sub(start); got != 2*time.Millisecond {
+			t.Errorf("forward leg = %v, want 2ms", got)
+		}
+		start = sim.Now()
+		_ = srv.WriteTo([]byte("y"), pkt.From)
+		if _, err := cli.ReadFrom(); err != nil {
+			t.Errorf("back: %v", err)
+			return
+		}
+		if got := sim.Now().Sub(start); got != 8*time.Millisecond {
+			t.Errorf("return leg = %v, want 8ms", got)
+		}
+	})
+}
+
+func TestWriteToUnknownHostDropsSilently(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	net := New(sim, 1)
+	sim.Run("main", func() {
+		cli, _ := net.Node("a").ListenPacket(0)
+		if err := cli.WriteTo([]byte("x"), transport.Addr{Host: "ghost", Port: 1}); err != nil {
+			t.Errorf("UDP to unknown host should drop silently, got %v", err)
+		}
+	})
+}
+
+func TestClosedPacketConnRejectsWrites(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	net := New(sim, 1)
+	sim.Run("main", func() {
+		pc, _ := net.Node("a").ListenPacket(0)
+		pc.Close()
+		if err := pc.WriteTo([]byte("x"), transport.Addr{Host: "a", Port: 1}); err == nil {
+			t.Error("write on closed conn should error")
+		}
+		if err := pc.Close(); err != nil {
+			t.Errorf("double close: %v", err)
+		}
+	})
+}

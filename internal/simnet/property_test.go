@@ -1,0 +1,140 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// TestDatagramDelayAtLeastBaseLatencyProperty: every delivered datagram
+// arrives no earlier than the path's base latency and no later than
+// base + jitter + serialization.
+func TestDatagramDelayAtLeastBaseLatencyProperty(t *testing.T) {
+	f := func(latencyMS uint8, jitterMS uint8, sizeKB uint8) bool {
+		base := time.Duration(latencyMS%50+1) * time.Millisecond
+		jitter := time.Duration(jitterMS%10) * time.Millisecond
+		size := (int(sizeKB)%32 + 1) << 10
+
+		sim := vclock.NewSim(time.Time{})
+		net := New(sim, int64(latencyMS)*7+int64(jitterMS))
+		bw := int64(1 << 20)
+		net.SetLink("a", "b", Path{Latency: base, Jitter: jitter, Bandwidth: bw})
+
+		ok := true
+		sim.Run("main", func() {
+			srv, err := net.Node("b").ListenPacket(9)
+			if err != nil {
+				ok = false
+				return
+			}
+			cli, err := net.Node("a").ListenPacket(0)
+			if err != nil {
+				ok = false
+				return
+			}
+			start := sim.Now()
+			if err := cli.WriteTo(make([]byte, size), transport.Addr{Host: "b", Port: 9}); err != nil {
+				ok = false
+				return
+			}
+			if _, err := srv.ReadFrom(); err != nil {
+				ok = false
+				return
+			}
+			elapsed := sim.Now().Sub(start)
+			ser := time.Duration(float64(size) / float64(bw) * float64(time.Second))
+			if elapsed < base+ser {
+				ok = false
+			}
+			if elapsed > base+jitter+ser+time.Millisecond {
+				ok = false
+			}
+		})
+		sim.Shutdown()
+		sim.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamDataIntegrityProperty: arbitrary payloads written in
+// arbitrary chunkings arrive intact and in order.
+func TestStreamDataIntegrityProperty(t *testing.T) {
+	f := func(payload []byte, chunkSeed uint8) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		sim := vclock.NewSim(time.Time{})
+		net := New(sim, int64(chunkSeed))
+		net.SetLink("a", "b", Path{Latency: time.Millisecond, Jitter: 3 * time.Millisecond})
+
+		ok := true
+		sim.Run("main", func() {
+			l, err := net.Node("b").Listen(80)
+			if err != nil {
+				ok = false
+				return
+			}
+			received := vclock.NewQueue[[]byte](sim, "rx")
+			sim.Go("server", func() {
+				s, err := l.Accept()
+				if err != nil {
+					return
+				}
+				var data []byte
+				buf := make([]byte, 257)
+				for {
+					n, err := s.Read(buf)
+					data = append(data, buf[:n]...)
+					if err != nil {
+						break
+					}
+				}
+				received.Push(data)
+			})
+			c, err := net.Node("a").Dial(transport.Addr{Host: "b", Port: 80})
+			if err != nil {
+				ok = false
+				return
+			}
+			chunk := int(chunkSeed)%31 + 1
+			for off := 0; off < len(payload); off += chunk {
+				end := off + chunk
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := c.Write(payload[off:end]); err != nil {
+					ok = false
+					return
+				}
+			}
+			c.Close()
+			data, err := received.Pop()
+			if err != nil {
+				ok = false
+				return
+			}
+			if len(data) != len(payload) {
+				ok = false
+				return
+			}
+			for i := range data {
+				if data[i] != payload[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		sim.Shutdown()
+		sim.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// chunk is one in-order delivery unit on a pipe; fin marks writer close.
+type chunk struct {
+	data []byte
+	fin  bool
+}
+
+// pipe is one direction of a stream. Writers compute each chunk's arrival
+// time analytically (serialization + propagation + jitter, monotonically
+// non-decreasing to preserve ordering) and a per-chunk task delivers it.
+type pipe struct {
+	net        *Network
+	from, to   string
+	q          *vclock.Queue[chunk]
+	lastDepart time.Time // when the link finishes serializing the last byte
+	lastArrive time.Time // arrival time of the most recent chunk
+	wclosed    bool      // writer side closed (FIN queued)
+}
+
+func newPipe(net *Network, from, to string) *pipe {
+	return &pipe{
+		net:  net,
+		from: from,
+		to:   to,
+		q:    vclock.NewQueue[chunk](net.sim, fmt.Sprintf("pipe:%s->%s", from, to)),
+	}
+}
+
+// send schedules delivery of c, preserving FIFO order.
+func (p *pipe) send(c chunk) {
+	sim := p.net.sim
+	path := p.net.PathBetween(p.from, p.to)
+	now := sim.Now()
+
+	depart := now
+	if p.lastDepart.After(depart) {
+		depart = p.lastDepart
+	}
+	depart = depart.Add(path.serialization(len(c.data)))
+	p.lastDepart = depart
+
+	arrive := depart.Add(path.sample(p.net.rng))
+	if arrive.Before(p.lastArrive) {
+		arrive = p.lastArrive // jitter must not reorder a byte stream
+	}
+	p.lastArrive = arrive
+
+	delay := arrive.Sub(now)
+	sim.Go("simnet.deliver", func() {
+		sim.Sleep(delay)
+		p.q.Push(c)
+	})
+}
+
+// stream implements transport.Stream over a pair of pipes.
+type stream struct {
+	net         *Network
+	local       transport.Addr
+	remote      transport.Addr
+	in          *pipe
+	out         *pipe
+	buf         []byte // unread remainder of the last chunk
+	eof         bool
+	closed      bool
+	readTimeout time.Duration
+}
+
+var _ transport.Stream = (*stream)(nil)
+
+func (s *stream) Read(p []byte) (int, error) {
+	if s.closed {
+		return 0, transport.ErrClosed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for len(s.buf) == 0 {
+		if s.eof {
+			return 0, io.EOF
+		}
+		var (
+			c   chunk
+			err error
+		)
+		if s.readTimeout > 0 {
+			c, err = s.in.q.PopWait(s.readTimeout)
+		} else {
+			c, err = s.in.q.Pop()
+		}
+		if err != nil {
+			return 0, mapQueueErr(err)
+		}
+		if c.fin {
+			s.eof = true
+			return 0, io.EOF
+		}
+		s.buf = c.data
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+func (s *stream) Write(p []byte) (int, error) {
+	if s.closed || s.out.wclosed {
+		return 0, fmt.Errorf("write %s->%s: %w", s.local, s.remote, transport.ErrClosed)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	s.out.send(chunk{data: data})
+	return len(p), nil
+}
+
+// Close sends a FIN after all written data and invalidates further local
+// use. (Half-close is not modelled; the protocol stack in this repository
+// never relies on it.)
+func (s *stream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.out.wclosed {
+		s.out.wclosed = true
+		s.out.send(chunk{fin: true})
+	}
+	return nil
+}
+
+func (s *stream) SetReadTimeout(d time.Duration) { s.readTimeout = d }
+
+func (s *stream) LocalAddr() transport.Addr  { return s.local }
+func (s *stream) RemoteAddr() transport.Addr { return s.remote }
+
+// packetConn implements transport.PacketConn.
+type packetConn struct {
+	node   *Node
+	addr   transport.Addr
+	inbox  *vclock.Queue[transport.Packet]
+	closed bool
+}
+
+var _ transport.PacketConn = (*packetConn)(nil)
+
+func (pc *packetConn) WriteTo(payload []byte, to transport.Addr) error {
+	if pc.closed {
+		return fmt.Errorf("udp write %s: %w", pc.addr, transport.ErrClosed)
+	}
+	n := pc.node.net
+	path := n.PathBetween(pc.node.name, to.Host)
+	if path.Loss > 0 && n.rng.Float64() < path.Loss {
+		return nil // datagrams are best-effort; losses vanish silently
+	}
+	dst, ok := n.nodes[to.Host]
+	if !ok {
+		return nil
+	}
+	delay := path.sample(n.rng) + path.serialization(len(payload))
+	data := make([]byte, len(payload))
+	copy(data, payload)
+	from := pc.addr
+	n.sim.Go("simnet.datagram", func() {
+		n.sim.Sleep(delay)
+		peer, up := dst.packets[to.Port]
+		if !up {
+			return
+		}
+		peer.inbox.Push(transport.Packet{From: from, Payload: data})
+	})
+	return nil
+}
+
+func (pc *packetConn) ReadFrom() (transport.Packet, error) {
+	p, err := pc.inbox.Pop()
+	return p, mapQueueErr(err)
+}
+
+func (pc *packetConn) ReadFromTimeout(d time.Duration) (transport.Packet, error) {
+	if d <= 0 {
+		return pc.ReadFrom()
+	}
+	p, err := pc.inbox.PopWait(d)
+	return p, mapQueueErr(err)
+}
+
+func (pc *packetConn) Close() error {
+	if pc.closed {
+		return nil
+	}
+	pc.closed = true
+	delete(pc.node.packets, pc.addr.Port)
+	pc.inbox.Close()
+	return nil
+}
+
+func (pc *packetConn) Addr() transport.Addr { return pc.addr }

@@ -1,0 +1,74 @@
+package traffic
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestGenerateMatchesTableIIProfiles(t *testing.T) {
+	for _, p := range []Profile{LowRate, HighRate} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			trace := Generate(p, 1)
+			s := trace.Stats()
+			if s.Packets != p.TargetPackets {
+				t.Errorf("packets = %d, want %d", s.Packets, p.TargetPackets)
+			}
+			if s.Bytes != p.TargetBytes {
+				t.Errorf("bytes = %d, want %d", s.Bytes, p.TargetBytes)
+			}
+			if s.Flows != p.Flows {
+				t.Errorf("flows = %d, want %d", s.Flows, p.Flows)
+			}
+			if s.Apps > p.Apps {
+				t.Errorf("apps = %d, want <= %d", s.Apps, p.Apps)
+			}
+			// Mean packet size must land near the published value.
+			wantAvg := int(p.TargetBytes) / p.TargetPackets
+			if math.Abs(float64(s.AvgPacketSize-wantAvg)) > 2 {
+				t.Errorf("avg packet = %d, want ≈%d", s.AvgPacketSize, wantAvg)
+			}
+		})
+	}
+}
+
+func TestGenerateSortedArrivalsWithinDuration(t *testing.T) {
+	trace := Generate(LowRate, 2)
+	if !sort.SliceIsSorted(trace.Packets, func(i, j int) bool {
+		return trace.Packets[i].At < trace.Packets[j].At
+	}) {
+		t.Error("packets not time-ordered")
+	}
+	for _, p := range trace.Packets {
+		if p.At < 0 || p.At >= trace.Profile.Duration {
+			t.Fatalf("packet at %v outside [0,%v)", p.At, trace.Profile.Duration)
+		}
+		if p.Size <= 0 {
+			t.Fatalf("non-positive packet size %d", p.Size)
+		}
+		if p.Flow < 0 || p.Flow >= trace.Profile.Flows {
+			t.Fatalf("flow %d out of range", p.Flow)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(LowRate, 7)
+	b := Generate(LowRate, 7)
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestHighRateIsDenserThanLowRate(t *testing.T) {
+	low := Generate(LowRate, 3).Stats()
+	high := Generate(HighRate, 3).Stats()
+	lowRate := float64(low.Bytes) / low.Duration.Seconds()
+	highRate := float64(high.Bytes) / high.Duration.Seconds()
+	if highRate < 20*lowRate {
+		t.Errorf("high rate %f B/s should dwarf low rate %f B/s", highRate, lowRate)
+	}
+}

@@ -1,0 +1,80 @@
+// Package vclock provides the time substrate for the APE-CACHE simulator.
+//
+// All protocol code in this repository is written against the small Clock,
+// Spawner and Env interfaces so that the exact same code can run either
+// under a discrete-event virtual clock (Sim) — where one simulated hour
+// executes in well under a second of wall time and timestamps are
+// deterministic — or under the real wall clock (Real) when the daemons run
+// over actual sockets.
+package vclock
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the progression of time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling task for d. Non-positive durations return
+	// immediately. Under a Sim clock, Sleep may return early if the
+	// simulation is shut down.
+	Sleep(d time.Duration)
+}
+
+// Spawner starts concurrent tasks whose blocking behaviour is tracked by
+// the clock implementation. Code running under a Sim must use Spawner.Go
+// (never the go statement) so the scheduler can account for every task.
+type Spawner interface {
+	// Go runs fn as a new task. The name is used in diagnostics only.
+	Go(name string, fn func())
+}
+
+// Env combines a clock with the ability to spawn tasks. Both Sim and Real
+// satisfy it.
+type Env interface {
+	Clock
+	Spawner
+}
+
+// ErrClosed is returned by queue operations after the queue (or the whole
+// simulation) has been closed.
+var ErrClosed = errors.New("vclock: closed")
+
+// ErrTimeout is returned by queue operations whose deadline expired before
+// an item arrived.
+var ErrTimeout = errors.New("vclock: timeout")
+
+// Real is an Env backed by the operating-system clock and ordinary
+// goroutines. Its zero value is ready to use. Go-spawned tasks are tracked
+// so that Wait can be used for orderly teardown.
+type Real struct {
+	wg sync.WaitGroup
+}
+
+var _ Env = (*Real)(nil)
+
+// Now implements Clock.
+func (*Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (*Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}
+
+// Go implements Spawner using a tracked goroutine.
+func (r *Real) Go(_ string, fn func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every task spawned through Go has returned.
+func (r *Real) Wait() { r.wg.Wait() }

@@ -1,0 +1,194 @@
+package wicache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"apecache/internal/objstore"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// fixture wires controller (far), AP, edge and origin.
+type fixture struct {
+	sim        *vclock.Sim
+	net        *simnet.Network
+	controller *Controller
+	ap         *APServer
+	edge       *objstore.EdgeCacheServer
+	obj        *objstore.Object
+}
+
+func newFixture(t *testing.T, sim *vclock.Sim, capacity int64, extra ...*objstore.Object) *fixture {
+	t.Helper()
+	net := simnet.New(sim, 8)
+	net.SetLink("client", "ap", simnet.Path{Latency: time.Millisecond})
+	net.SetLink("client", "ec2", simnet.Path{Latency: 11 * time.Millisecond, Hops: 12})
+	net.SetLink("ap", "ec2", simnet.Path{Latency: 10 * time.Millisecond, Hops: 11})
+	net.SetLink("client", "edge", simnet.Path{Latency: 14 * time.Millisecond, Hops: 7})
+	net.SetLink("ap", "edge", simnet.Path{Latency: 13 * time.Millisecond, Hops: 7})
+	net.SetLink("edge", "origin", simnet.Path{Latency: 20 * time.Millisecond})
+
+	obj := &objstore.Object{URL: "http://api.w.example/chunk", App: "w", Size: 32 << 10,
+		TTL: 30 * time.Minute, Priority: 2, OriginDelay: 15 * time.Millisecond}
+	catalog := objstore.NewCatalog(append([]*objstore.Object{obj}, extra...)...)
+
+	origin := objstore.NewOriginServer(sim, catalog)
+	if _, err := origin.Run(net.Node("origin"), 80); err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	edge := objstore.NewEdgeCacheServer(sim, net.Node("edge"), catalog, transport.Addr{Host: "origin", Port: 80})
+	edge.Prepopulate()
+	if _, err := edge.Run(net.Node("edge"), 80); err != nil {
+		t.Fatalf("edge: %v", err)
+	}
+
+	controller := NewController(sim, net.Node("ec2"))
+	if err := controller.Start(0); err != nil {
+		t.Fatalf("controller: %v", err)
+	}
+	ap := NewAPServer(sim, net.Node("ap"), "ap", capacity,
+		transport.Addr{Host: "edge", Port: 80}, controller.Addr())
+	if err := ap.Start(0); err != nil {
+		t.Fatalf("ap: %v", err)
+	}
+	controller.RegisterAP("ap", ap.Addr(), ap.Addr())
+	return &fixture{sim: sim, net: net, controller: controller, ap: ap, edge: edge, obj: obj}
+}
+
+func run(t *testing.T, capacity int64, fn func(fx *fixture)) {
+	t.Helper()
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() { fn(newFixture(t, sim, capacity)) })
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	run(t, 5<<20, func(fx *fixture) {
+		client := NewClient(fx.sim, fx.net.Node("client"), "w", fx.controller.Addr(),
+			transport.Addr{Host: "edge", Port: 80})
+		client.Declare(fx.obj.URL, fx.obj.TTL, fx.obj.Priority)
+
+		// First fetch: controller miss -> client goes to the edge; the
+		// controller orders a background fill.
+		body, err := client.Get(fx.obj.URL)
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
+			t.Errorf("get1: %v (%d bytes)", err, len(body))
+			return
+		}
+		if client.Stats().Hits.All.Hits() != 0 {
+			t.Error("first fetch counted as a hit")
+		}
+
+		// Give the fill order time to complete.
+		fx.sim.Sleep(2 * time.Second)
+		if fx.ap.Fills != 1 {
+			t.Errorf("fills = %d, want 1", fx.ap.Fills)
+		}
+
+		// Second fetch: controller hit -> AP chunk fetch.
+		start := fx.sim.Now()
+		body, err = client.Get(fx.obj.URL)
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
+			t.Errorf("get2: %v", err)
+			return
+		}
+		if client.Stats().Hits.All.Hits() != 1 {
+			t.Error("second fetch not counted as a hit")
+		}
+		// Lookup crosses to the controller (~22ms RTT); retrieval stays
+		// on the WiFi hop (~2ms RTT).
+		total := fx.sim.Now().Sub(start)
+		if total > 40*time.Millisecond {
+			t.Errorf("warm fetch took %v, want lookup+AP retrieval", total)
+		}
+		if mean := client.Stats().Retrieval.Mean(); mean > 10*time.Millisecond {
+			t.Errorf("hit retrieval mean = %v, want WiFi-level", mean)
+		}
+	})
+}
+
+func TestStaleControllerLocationFallsBackToEdge(t *testing.T) {
+	run(t, 5<<20, func(fx *fixture) {
+		client := NewClient(fx.sim, fx.net.Node("client"), "w", fx.controller.Addr(),
+			transport.Addr{Host: "edge", Port: 80})
+		client.Declare(fx.obj.URL, fx.obj.TTL, fx.obj.Priority)
+
+		// Fabricate a stale controller entry: the controller believes the
+		// AP holds the object, but the AP cache is empty.
+		fx.controller.locations[fx.obj.URL] = "ap"
+
+		body, err := client.Get(fx.obj.URL)
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
+			t.Errorf("get with stale location: %v", err)
+		}
+	})
+}
+
+func TestLRUEvictionReportsToController(t *testing.T) {
+	// A tiny AP cache that can hold exactly one of the two objects.
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		obj2 := &objstore.Object{URL: "http://api.w.example/chunk2", App: "w", Size: 32 << 10,
+			TTL: 30 * time.Minute, Priority: 1, OriginDelay: 10 * time.Millisecond}
+		fx := newFixture(t, sim, 40<<10, obj2)
+
+		client := NewClient(sim, fx.net.Node("client"), "w", fx.controller.Addr(),
+			transport.Addr{Host: "edge", Port: 80})
+		client.Declare(fx.obj.URL, fx.obj.TTL, fx.obj.Priority)
+		client.Declare(obj2.URL, obj2.TTL, obj2.Priority)
+
+		if _, err := client.Get(fx.obj.URL); err != nil {
+			t.Errorf("get1: %v", err)
+			return
+		}
+		sim.Sleep(2 * time.Second)
+		if _, err := client.Get(obj2.URL); err != nil {
+			t.Errorf("get2: %v", err)
+			return
+		}
+		sim.Sleep(2 * time.Second)
+		// The fill of obj2 evicted obj1; the controller must have been
+		// told, so a fetch of obj1 is a miss again (and triggers refill).
+		if loc, ok := fx.controller.locations[fx.obj.URL]; ok {
+			t.Errorf("controller still maps %s to %s after eviction", fx.obj.URL, loc)
+		}
+		if _, ok := fx.controller.locations[obj2.URL]; !ok {
+			t.Error("controller missing the filled object")
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndeclaredURLGetsDefaults(t *testing.T) {
+	run(t, 5<<20, func(fx *fixture) {
+		client := NewClient(fx.sim, fx.net.Node("client"), "w", fx.controller.Addr(),
+			transport.Addr{Host: "edge", Port: 80})
+		// No Declare: defaults apply, fetch still works via the edge.
+		body, err := client.Get(fx.obj.URL + "?x=1")
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
+			t.Errorf("get: %v", err)
+		}
+	})
+}
+
+func TestParseAddr(t *testing.T) {
+	if a, err := parseAddr("ap:7001"); err != nil || a.Host != "ap" || a.Port != 7001 {
+		t.Errorf("parseAddr = %+v, %v", a, err)
+	}
+	for _, bad := range []string{"noport", "x:abc", "x:99999"} {
+		if _, err := parseAddr(bad); err == nil {
+			t.Errorf("parseAddr(%q) succeeded", bad)
+		}
+	}
+}
