@@ -31,6 +31,7 @@ import (
 	"apecache/internal/apcache"
 	"apecache/internal/apeclient"
 	"apecache/internal/cachepolicy"
+	"apecache/internal/coherence"
 	"apecache/internal/dnswire"
 	"apecache/internal/objstore"
 	"apecache/internal/realnet"
@@ -83,6 +84,22 @@ func NewPACM() CachePolicy { return cachepolicy.NewPACM() }
 
 // NewLRU returns the LRU baseline policy.
 func NewLRU() CachePolicy { return cachepolicy.NewLRU() }
+
+// CoherenceMode selects how the AP reacts to origin purge messages
+// relayed over the invalidation bus; see internal/coherence.
+type CoherenceMode = coherence.Mode
+
+// Coherence modes: TTL-only (off), immediate eviction, or
+// stale-while-revalidate.
+const (
+	CoherenceOff        = coherence.ModeOff
+	CoherenceInvalidate = coherence.ModeInvalidate
+	CoherenceSWR        = coherence.ModeSWR
+)
+
+// ParseCoherenceMode maps a CLI/config string ("off", "invalidate",
+// "swr") to a CoherenceMode.
+func ParseCoherenceMode(s string) (CoherenceMode, error) { return coherence.ParseMode(s) }
 
 // Addr identifies a transport endpoint (host + port).
 type Addr = transport.Addr

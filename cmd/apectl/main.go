@@ -1,11 +1,16 @@
-// Command apectl inspects a running APE-CACHE access point: it fetches
-// the AP's /status endpoint and renders the cache occupancy and runtime
-// counters.
+// Command apectl inspects and controls a running APE-CACHE deployment:
+// the default mode fetches an AP's /status endpoint and renders the cache
+// occupancy and runtime counters; the purge subcommand publishes an
+// invalidation on the coherence bus hosted by edged.
 //
 // Usage:
 //
-//	apectl -ap 127.0.0.1:18080            # human-readable summary
-//	apectl -ap 127.0.0.1:18080 -raw      # raw JSON
+//	apectl -ap 127.0.0.1:18080                  # human-readable summary
+//	apectl -ap 127.0.0.1:18080 -raw             # raw JSON
+//	apectl purge -hub 127.0.0.1:8080 \
+//	       -url http://api.demo.example/obj0 -version 1   # push a purge
+//	apectl purge -hub 127.0.0.1:8080 \
+//	       -url http://api.demo.example/obj0 -version 2 -gone
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"strings"
 
 	"apecache"
+	"apecache/internal/coherence"
 	"apecache/internal/httplite"
 	"apecache/internal/transport"
 )
@@ -37,28 +43,64 @@ type status struct {
 	DNSMisses      int    `json:"dns_cache_misses"`
 	Policy         string `json:"policy"`
 	UptimeSec      int64  `json:"uptime_sec"`
+	Coherence      string `json:"coherence"`
+	Purges         int    `json:"purges"`
+	Revalidations  int    `json:"revalidations"`
+	StaleServes    int    `json:"stale_serves"`
+	StaleDrops     int    `json:"stale_drops"`
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "purge" {
+		if err := runPurge(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "apectl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
 	raw := flag.Bool("raw", false, "print the raw JSON status")
 	flag.Parse()
-	if err := run(*ap, *raw); err != nil {
+	if err := runStatus(*ap, *raw); err != nil {
 		fmt.Fprintln(os.Stderr, "apectl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apAddr string, raw bool) error {
-	i := strings.LastIndexByte(apAddr, ':')
-	if i < 0 {
-		return fmt.Errorf("bad -ap %q", apAddr)
+// runPurge publishes one invalidation to the coherence hub.
+func runPurge(args []string) error {
+	fs := flag.NewFlagSet("purge", flag.ExitOnError)
+	hub := fs.String("hub", "127.0.0.1:8080", "coherence hub (edged edge endpoint) host:port")
+	url := fs.String("url", "", "object URL to purge")
+	version := fs.Int64("version", 1, "origin version the purge carries; copies with an older version are dropped")
+	gone := fs.Bool("gone", false, "the object no longer exists at the origin (drives negative caching)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	port, err := strconv.Atoi(apAddr[i+1:])
-	if err != nil || port < 1 || port > 65535 {
-		return fmt.Errorf("bad -ap port in %q", apAddr)
+	if *url == "" {
+		return fmt.Errorf("purge: -url is required")
 	}
-	addr := transport.Addr{Host: apAddr[:i], Port: uint16(port)}
+	if *version < 1 {
+		return fmt.Errorf("purge: -version must be >= 1")
+	}
+	hubAddr, err := parseAddr(*hub)
+	if err != nil {
+		return fmt.Errorf("bad -hub: %w", err)
+	}
+	msg := coherence.Msg{URL: *url, Version: *version, Gone: *gone}
+	client := httplite.NewClient(apecache.NewRealHost(""))
+	if err := coherence.Publish(client, hubAddr, msg); err != nil {
+		return err
+	}
+	fmt.Printf("published %s to %s\n", msg, hubAddr)
+	return nil
+}
+
+func runStatus(apAddr string, raw bool) error {
+	addr, err := parseAddr(apAddr)
+	if err != nil {
+		return fmt.Errorf("bad -ap: %w", err)
+	}
 
 	client := httplite.NewClient(apecache.NewRealHost(""))
 	resp, err := client.Get(addr, addr.Host, "/status")
@@ -88,5 +130,20 @@ func run(apAddr string, raw bool) error {
 		s.Insertions, s.Updates, s.Evictions, s.Expired, s.Blocked)
 	fmt.Printf("runtime: %d delegations, %d prefetches, DNS cache %d hits / %d misses\n",
 		s.Delegations, s.Prefetches, s.DNSHits, s.DNSMisses)
+	fmt.Printf("coherence: %s — %d purges, %d revalidations, %d stale serves, %d stale drops\n",
+		s.Coherence, s.Purges, s.Revalidations, s.StaleServes, s.StaleDrops)
 	return nil
+}
+
+// parseAddr parses "host:port".
+func parseAddr(s string) (transport.Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return transport.Addr{}, fmt.Errorf("missing port in %q", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port < 1 || port > 65535 {
+		return transport.Addr{}, fmt.Errorf("bad port in %q", s)
+	}
+	return transport.Addr{Host: s[:i], Port: uint16(port)}, nil
 }

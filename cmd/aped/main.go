@@ -7,7 +7,7 @@
 //
 //	aped -ip 127.0.0.1 -dns-port 15353 -http-port 18080 \
 //	     -upstream 8.8.8.8:53 -edge 127.0.0.1:8080 \
-//	     -cache-mb 5 -policy pacm
+//	     -cache-mb 5 -policy pacm -coherence swr
 package main
 
 import (
@@ -34,15 +34,17 @@ func main() {
 		edge     = flag.String("edge", "127.0.0.1:8080", "edge cache server host:port")
 		cacheMB  = flag.Int64("cache-mb", 5, "cache capacity in MiB")
 		policy   = flag.String("policy", "pacm", "eviction policy: pacm or lru")
+		cohMode  = flag.String("coherence", "off", "coherence mode: off, invalidate or swr")
+		busFlag  = flag.String("bus", "", "coherence hub host:port (default: the -edge endpoint)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy); err != nil {
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "aped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName string) error {
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus string) error {
 	upstreamAddr, err := parseAddr(upstream)
 	if err != nil {
 		return fmt.Errorf("bad -upstream: %w", err)
@@ -50,6 +52,16 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	edgeAddr, err := parseAddr(edge)
 	if err != nil {
 		return fmt.Errorf("bad -edge: %w", err)
+	}
+	mode, err := apecache.ParseCoherenceMode(cohMode)
+	if err != nil {
+		return fmt.Errorf("bad -coherence: %w", err)
+	}
+	var busAddr transport.Addr
+	if bus != "" {
+		if busAddr, err = parseAddr(bus); err != nil {
+			return fmt.Errorf("bad -bus: %w", err)
+		}
 	}
 	var policy apecache.CachePolicy
 	switch policyName {
@@ -71,13 +83,15 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 		Rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
 		DNSPort:       dnsPort,
 		HTTPPort:      httpPort,
+		Coherence:     mode,
+		BusAddr:       busAddr,
 	})
 	if err := ap.Start(); err != nil {
 		return err
 	}
 	defer ap.Stop()
-	fmt.Printf("aped: DNS on %s, HTTP on %s, %d MiB %s cache, upstream %s, edge %s\n",
-		ap.DNSAddr(), ap.HTTPAddr(), cacheMB, policyName, upstreamAddr, edgeAddr)
+	fmt.Printf("aped: DNS on %s, HTTP on %s, %d MiB %s cache, upstream %s, edge %s, coherence %s\n",
+		ap.DNSAddr(), ap.HTTPAddr(), cacheMB, policyName, upstreamAddr, edgeAddr, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

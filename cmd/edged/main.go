@@ -1,7 +1,10 @@
 // Command edged runs an origin server plus an edge cache server on real
 // sockets, serving a synthetic object catalog — the deployable stand-in
 // for the paper's edge desktop. aped delegates to it and APE-CACHE
-// clients fall back to it on Cache-Miss flags.
+// clients fall back to it on Cache-Miss flags. The coherence hub shares
+// the edge port: origins publish purges to /_coherence/publish, APs (and
+// the Wi-Cache controller) subscribe via /_coherence/subscribe, and the
+// hub invalidates the edge's own copy before relaying.
 //
 // Usage:
 //
@@ -20,6 +23,8 @@ import (
 	"time"
 
 	"apecache"
+	"apecache/internal/coherence"
+	"apecache/internal/httplite"
 	"apecache/internal/objstore"
 )
 
@@ -74,14 +79,19 @@ func run(ip string, edgePort, originPort uint16, domains []string, perDomain int
 	defer originL.Close()
 
 	edge := objstore.NewEdgeCacheServer(env, host, catalog, originL.Addr())
-	edgeL, err := edge.Run(host, edgePort)
+	hub := coherence.NewHub(env, host, func(m coherence.Msg) { edge.Invalidate(m.URL) })
+	edgeL, err := host.Listen(edgePort)
 	if err != nil {
 		return err
 	}
 	defer edgeL.Close()
+	srv := httplite.NewServer(env, hub.Wrap(edge))
+	env.Go("edged.edge", func() { srv.Serve(edgeL) })
 
 	fmt.Printf("edged: origin on %s, edge cache on %s, %d objects across %d domain(s)\n",
 		originL.Addr(), edgeL.Addr(), catalog.Len(), len(catalog.Domains()))
+	fmt.Printf("edged: coherence bus on %s%s (publish) and %s (subscribe)\n",
+		edgeL.Addr(), coherence.PathPublish, coherence.PathSubscribe)
 	for _, o := range catalog.All() {
 		fmt.Printf("  %s  (%d KB, prio %d, ttl %v)\n", o.URL, o.Size>>10, o.Priority, o.TTL)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"apecache/internal/cachepolicy"
+	"apecache/internal/coherence"
 	"apecache/internal/dnsd"
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
@@ -80,6 +81,17 @@ type Config struct {
 	// DisablePrefetch turns off dependency-driven prefetching (clients
 	// may still send X-Ape-Prefetch hints; they are ignored).
 	DisablePrefetch bool
+	// Coherence selects how the AP handles purge messages from the
+	// invalidation bus: ModeOff (TTL-only, no subscription), ModeInvalidate
+	// (evict on purge) or ModeSWR (serve the purged copy once while a
+	// background conditional re-fetch refreshes it).
+	Coherence coherence.Mode
+	// BusAddr is the coherence hub to subscribe to; zero means the hub is
+	// colocated with the edge at EdgeAddr.
+	BusAddr transport.Addr
+	// SweepInterval overrides DefaultSweepInterval when positive (the
+	// background expired-entry sweep period).
+	SweepInterval time.Duration
 }
 
 // AP is a running APE-CACHE access point.
@@ -103,6 +115,15 @@ type AP struct {
 	// only from quiescent code (tests, Snapshot).
 	Delegations int
 	Prefetches  int
+	// Purges counts bus messages applied; Revalidations counts background
+	// conditional re-fetches completed. Read from quiescent code only.
+	Purges        int
+	Revalidations int
+	// revalidating and delegating are the singleflight guards: one
+	// background revalidation per URL, one edge fetch per URL across
+	// concurrent delegations.
+	revalidating map[string]bool
+	delegating   map[string]bool
 }
 
 // New builds an AP runtime; call Start to begin serving.
@@ -120,10 +141,12 @@ func New(cfg Config) *AP {
 	fwd := dnsd.NewForwarder(cfg.Env, cfg.Host, cfg.Rng, cfg.Upstream)
 	fwd.ProcessingDelay = cfg.PlainDNSProcessing
 	return &AP{
-		cfg:   cfg,
-		store: store,
-		fwd:   fwd,
-		edge:  httplite.NewClient(cfg.Host),
+		cfg:          cfg,
+		store:        store,
+		fwd:          fwd,
+		edge:         httplite.NewClient(cfg.Host),
+		revalidating: make(map[string]bool),
+		delegating:   make(map[string]bool),
 	}
 }
 
@@ -154,10 +177,17 @@ func (ap *AP) Start() error {
 	mux.HandleFunc("/cache", ap.handleCacheGet)
 	mux.HandleFunc("/delegate", ap.handleDelegate)
 	mux.HandleFunc("/status", ap.handleStatus)
+	mux.HandleFunc(coherence.DefaultPurgePath, ap.handlePurge)
 	srv := httplite.NewServer(ap.cfg.Env, mux)
 	ap.cfg.Env.Go("apcache.http", func() { srv.Serve(l) })
 	ap.started = ap.cfg.Env.Now()
 	ap.startSweeper()
+	if ap.cfg.Coherence != coherence.ModeOff {
+		if err := ap.subscribeBus(); err != nil {
+			ap.Stop()
+			return fmt.Errorf("apcache: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -276,8 +306,23 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	if app := params["app"]; app != "" {
 		ap.store.RecordRequest(app)
 	}
-	entry, ok := ap.store.Get(dnswire.BasicURL(target))
+	basic := dnswire.BasicURL(target)
+	entry, ok := ap.store.Get(basic)
 	if !ok {
+		if ap.cfg.Coherence == coherence.ModeSWR {
+			if stale, sok := ap.store.GetStale(basic); sok {
+				// The one allowed post-purge serve: hand out the resident
+				// copy at hit speed and make sure a revalidation is
+				// running (belt and braces — the purge handler already
+				// scheduled one; the singleflight guard dedupes).
+				ap.cfg.Env.Go("apcache.revalidate", func() { ap.revalidate(basic) })
+				ap.account(OpCacheServe, len(stale.Data))
+				resp := httplite.NewResponse(200, stale.Data)
+				resp.Set("X-Ape-Source", "ap-cache-stale")
+				resp.Set("Warning", `110 - "response is stale"`)
+				return resp
+			}
+		}
 		// Evicted or expired between lookup and fetch: the client falls
 		// back to delegation/edge.
 		return httplite.NewResponse(404, []byte("not cached"))
@@ -314,6 +359,22 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	}
 	ap.maybePrefetch(req, app)
 
+	// Negative cache: a purged-and-gone object answers 410 inside its
+	// window without touching the edge (re-fetching would only 404 there).
+	if ap.store.NegativeCached(basic) {
+		return httplite.NewResponse(410, []byte("origin deleted object"))
+	}
+
+	// Singleflight: concurrent delegations for the same URL trigger one
+	// edge fetch; followers wait and serve the freshly cached copy.
+	if body, ok := ap.awaitDelegation(basic); ok {
+		ap.account(OpCacheServe, len(body))
+		resp := httplite.NewResponse(200, body)
+		resp.Set("X-Ape-Source", "ap-cache")
+		return resp
+	}
+	defer ap.releaseDelegation(basic)
+
 	// Fetch from the edge, timing the retrieval — the measured latency
 	// approximates l_d for PACM (transfer time makes it grow with object
 	// size, so critical-path objects measure slower, as in the paper).
@@ -331,15 +392,17 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	ap.mu.Unlock()
 	ap.account(OpDelegation, len(edgeResp.Body))
 
+	version, _ := coherence.ParseETag(edgeResp.Get("ETag"))
 	obj := &objstore.Object{
 		URL:      basic,
 		App:      app,
 		Size:     len(edgeResp.Body),
 		TTL:      time.Duration(ttlMin) * time.Minute,
 		Priority: priority,
+		Version:  version,
 	}
 	ap.account(OpPACMRun, ap.store.Len())
-	_ = ap.store.Put(obj, edgeResp.Body, fetchLatency) // ErrBlocked is fine: relay anyway
+	_ = ap.store.Put(obj, edgeResp.Body, fetchLatency) // ErrBlocked/ErrStaleVersion is fine: relay anyway
 
 	resp := httplite.NewResponse(200, edgeResp.Body)
 	resp.Set("X-Ape-Source", "ap-delegate")

@@ -27,6 +27,12 @@ type Status struct {
 	DNSMisses   int    `json:"dns_cache_misses"`
 	Policy      string `json:"policy"`
 	UptimeSec   int64  `json:"uptime_sec"`
+	// Coherence counters.
+	Coherence     string `json:"coherence"`
+	Purges        int    `json:"purges"`
+	Revalidations int    `json:"revalidations"`
+	StaleServes   int    `json:"stale_serves"`
+	StaleDrops    int    `json:"stale_drops"`
 }
 
 // Snapshot assembles the current status.
@@ -34,8 +40,14 @@ func (ap *AP) Snapshot() Status {
 	stats := ap.store.Stats()
 	ap.mu.Lock()
 	delegations, prefetches := ap.Delegations, ap.Prefetches
+	purges, revalidations := ap.Purges, ap.Revalidations
 	ap.mu.Unlock()
 	return Status{
+		Coherence:      ap.cfg.Coherence.String(),
+		Purges:         purges,
+		Revalidations:  revalidations,
+		StaleServes:    stats.StaleServes,
+		StaleDrops:     stats.StaleDrops,
 		CacheUsedBytes: ap.store.Used(),
 		CacheCapacity:  ap.store.Capacity(),
 		Entries:        ap.store.Len(),
@@ -64,22 +76,28 @@ func (ap *AP) handleStatus(*httplite.Request) *httplite.Response {
 	return resp
 }
 
-// sweepInterval is how often the background sweeper evicts expired
+// DefaultSweepInterval is how often the background sweeper evicts expired
 // entries so idle caches do not hold dead objects until the next insert.
-const sweepInterval = time.Minute
+const DefaultSweepInterval = time.Minute
 
-// startSweeper launches the periodic expiry sweep. It exits when the AP
-// stops, or when Sleep stops consuming time (a shut-down virtual clock
-// returns immediately — without this check the loop would spin).
+// startSweeper launches the periodic expiry sweep, driven by the AP's
+// clock (virtual under simulation, so sweep times are deterministic). It
+// exits when the AP stops, or when Sleep stops consuming time (a shut-down
+// virtual clock returns immediately — without this check the loop would
+// spin).
 func (ap *AP) startSweeper() {
+	interval := ap.cfg.SweepInterval
+	if interval <= 0 {
+		interval = DefaultSweepInterval
+	}
 	ap.cfg.Env.Go("apcache.sweeper", func() {
 		for {
 			before := ap.cfg.Env.Now()
-			ap.cfg.Env.Sleep(sweepInterval)
+			ap.cfg.Env.Sleep(interval)
 			ap.mu.Lock()
 			stopped := ap.stopped
 			ap.mu.Unlock()
-			if stopped || ap.cfg.Env.Now().Sub(before) < sweepInterval {
+			if stopped || ap.cfg.Env.Now().Sub(before) < interval {
 				return
 			}
 			ap.store.SweepExpired()

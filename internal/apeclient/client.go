@@ -56,6 +56,9 @@ type Stats struct {
 	RetrievalAll metrics.LatencyStats
 	// Hits tracks AP cache hits by priority class (Tables IV–VI).
 	Hits metrics.HitStats
+	// StaleAccepts counts requests answered from a purged AP entry under
+	// stale-while-revalidate (the one allowed stale serve per purge).
+	StaleAccepts int
 }
 
 // Client is the enhanced HTTP client library of §IV: it intercepts
@@ -131,17 +134,23 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 		flag = dnswire.FlagDelegation
 	}
 	c.mu.Lock()
-	c.stats.Hits.Record(cacheable.Priority, flag == dnswire.FlagCacheHit)
+	c.stats.Hits.Record(cacheable.Priority, flag == dnswire.FlagCacheHit || flag == dnswire.FlagStale)
+	if flag == dnswire.FlagStale {
+		c.stats.StaleAccepts++
+	}
 	c.mu.Unlock()
 
 	// Stage 2 — fetching, dispatched on the flag.
 	retrievalStart := c.cfg.Env.Now()
 	var body []byte
 	switch flag {
-	case dnswire.FlagCacheHit:
+	case dnswire.FlagCacheHit, dnswire.FlagStale:
+		// Stale means the AP still holds a purged copy it may serve once
+		// while revalidating in the background — fetch it at hit speed.
 		body, err = c.fetchFromAP(basic)
 		if err != nil {
-			// Races (eviction between lookup and fetch) fall back to
+			// Races (eviction between lookup and fetch, or the stale
+			// allowance spent by a concurrent client) fall back to
 			// delegation rather than failing the request.
 			body, err = c.delegate(basic, cacheable)
 		}

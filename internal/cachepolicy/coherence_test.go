@@ -1,0 +1,150 @@
+package cachepolicy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/objstore"
+	"apecache/internal/vclock"
+)
+
+func TestPurgeInvalidateEvicts(t *testing.T) {
+	runStore(t, 10<<10, NewPACM(), func(sim *vclock.Sim, s *Store) {
+		o := testObj("http://a.example/x", "a", 1024, 2, time.Hour)
+		if err := s.Put(o, o.Body(), 30*time.Millisecond); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		resident, stale := s.Purge(o.URL+"?q=1", 1, false, false)
+		if !resident || stale {
+			t.Errorf("Purge = resident=%v stale=%v, want true/false", resident, stale)
+		}
+		if _, ok := s.Get(o.URL); ok {
+			t.Error("purged entry still served")
+		}
+		// The hash stays known, so the DNS answer is Delegation, not silence.
+		if got := s.FlagByHash(dnswire.HashURL(o.URL)); got != dnswire.FlagDelegation {
+			t.Errorf("post-purge flag = %v, want Delegation", got)
+		}
+		if st := s.Stats(); st.Purged != 1 {
+			t.Errorf("Purged stat = %d, want 1", st.Purged)
+		}
+	})
+}
+
+func TestPurgeSWRServesOnce(t *testing.T) {
+	runStore(t, 10<<10, NewPACM(), func(sim *vclock.Sim, s *Store) {
+		o := testObj("http://a.example/x", "a", 1024, 2, time.Hour)
+		if err := s.Put(o, o.Body(), 30*time.Millisecond); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if resident, stale := s.Purge(o.URL, 1, false, true); !resident || !stale {
+			t.Fatalf("Purge = %v/%v, want true/true", resident, stale)
+		}
+		if got := s.Flag(o.URL); got != dnswire.FlagStale {
+			t.Errorf("stale flag = %v, want Stale", got)
+		}
+		if _, ok := s.Get(o.URL); ok {
+			t.Error("Get served a stale entry")
+		}
+		if e, ok := s.GetStale(o.URL); !ok || e.Version != 0 {
+			t.Fatalf("GetStale = %v, %v; want the resident v0 copy", e, ok)
+		}
+		// The allowance is spent: no second stale serve, flag degrades to
+		// Delegation while the revalidation runs.
+		if _, ok := s.GetStale(o.URL); ok {
+			t.Error("second stale serve allowed")
+		}
+		if got := s.Flag(o.URL); got != dnswire.FlagDelegation {
+			t.Errorf("post-serve flag = %v, want Delegation", got)
+		}
+		if st := s.Stats(); st.StaleServes != 1 {
+			t.Errorf("StaleServes = %d, want 1", st.StaleServes)
+		}
+
+		// 304 revalidation un-stales and re-leases the entry.
+		if !s.Revalidated(o.URL, 1) {
+			t.Fatal("Revalidated missed resident entry")
+		}
+		if e, ok := s.Get(o.URL); !ok || e.Version != 1 {
+			t.Errorf("revalidated Get = %v, %v", e, ok)
+		}
+		if got := s.Flag(o.URL); got != dnswire.FlagCacheHit {
+			t.Errorf("revalidated flag = %v, want Cache-Hit", got)
+		}
+	})
+}
+
+func TestPurgeVersionGatesPut(t *testing.T) {
+	runStore(t, 10<<10, NewPACM(), func(sim *vclock.Sim, s *Store) {
+		o := testObj("http://a.example/x", "a", 1024, 2, time.Hour)
+		s.Purge(o.URL, 2, false, false) // purge before the AP ever held it
+		if err := s.Put(o, o.Body(), 0); !errors.Is(err, ErrStaleVersion) {
+			t.Errorf("stale Put err = %v, want ErrStaleVersion", err)
+		}
+		if st := s.Stats(); st.StaleDrops != 1 {
+			t.Errorf("StaleDrops = %d, want 1", st.StaleDrops)
+		}
+		fresh := &objstore.Object{URL: o.URL, App: "a", Size: 1024, TTL: time.Hour, Priority: 2, Version: 2}
+		if err := s.Put(fresh, fresh.Body(), 0); err != nil {
+			t.Errorf("current Put: %v", err)
+		}
+		if e, ok := s.Get(o.URL); !ok || e.Version != 2 {
+			t.Errorf("Get after gated Put = %v, %v", e, ok)
+		}
+	})
+}
+
+func TestGonePurgeNegativeCaches(t *testing.T) {
+	runStore(t, 10<<10, NewPACM(), func(sim *vclock.Sim, s *Store) {
+		o := testObj("http://a.example/x", "a", 1024, 2, time.Hour)
+		if err := s.Put(o, o.Body(), 0); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		// keepStale is ignored for gone purges: nothing to revalidate.
+		if resident, stale := s.Purge(o.URL, 1, true, true); !resident || stale {
+			t.Errorf("gone Purge = %v/%v, want true/false", resident, stale)
+		}
+		if !s.NegativeCached(o.URL) {
+			t.Error("gone URL not negative-cached")
+		}
+		if got := s.Flag(o.URL); got != dnswire.FlagCacheMiss {
+			t.Errorf("gone flag = %v, want Cache-Miss", got)
+		}
+		// The window expires: back to Delegation.
+		sim.Sleep(DefaultNegativeTTL + time.Second)
+		if got := s.Flag(o.URL); got != dnswire.FlagDelegation {
+			t.Errorf("post-window flag = %v, want Delegation", got)
+		}
+		if s.NegativeCached(o.URL) {
+			t.Error("window did not expire")
+		}
+
+		// MarkGone covers the revalidation-found-404 path too.
+		if err := s.Put(&objstore.Object{URL: o.URL, App: "a", Size: 64, TTL: time.Hour, Priority: 2, Version: 3}, make([]byte, 64), 0); err != nil {
+			t.Fatalf("re-create Put: %v", err)
+		}
+		s.MarkGone(o.URL)
+		if _, ok := s.Get(o.URL); ok || !s.NegativeCached(o.URL) {
+			t.Error("MarkGone left the entry servable")
+		}
+	})
+}
+
+func TestPurgeIgnoresCurrentOrNewerCopies(t *testing.T) {
+	runStore(t, 10<<10, NewPACM(), func(sim *vclock.Sim, s *Store) {
+		o := &objstore.Object{URL: "http://a.example/x", App: "a", Size: 512, TTL: time.Hour, Priority: 2, Version: 3}
+		if err := s.Put(o, o.Body(), 0); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		// A late-arriving purge for an older version must not disturb the
+		// already-refreshed copy.
+		if resident, _ := s.Purge(o.URL, 3, false, true); resident {
+			t.Error("purge for held version touched the entry")
+		}
+		if got := s.Flag(o.URL); got != dnswire.FlagCacheHit {
+			t.Errorf("flag = %v, want Cache-Hit", got)
+		}
+	})
+}

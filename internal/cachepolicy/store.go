@@ -35,6 +35,14 @@ type Entry struct {
 	Inserted     time.Time
 	// Hits counts Get operations served by this entry (GDSF input).
 	Hits int
+	// Version is the origin version of the cached payload (coherence).
+	Version int64
+	// Stale marks a purged-but-resident entry: the origin published a
+	// newer version, and under stale-while-revalidate the copy stays
+	// servable exactly once while a background revalidation runs.
+	Stale bool
+	// StaleServed records that the one allowed stale serve has happened.
+	StaleServed bool
 }
 
 // Size returns the entry's payload size in bytes.
@@ -61,6 +69,13 @@ type StoreStats struct {
 	Evictions  int
 	Expired    int
 	Blocked    int
+	// Purged counts coherence purges that touched a resident entry.
+	Purged int
+	// StaleServes counts GetStale serves of purged entries (SWR).
+	StaleServes int
+	// StaleDrops counts Put/insert attempts rejected because the payload
+	// version was older than the purge high-water mark.
+	StaleDrops int
 }
 
 // Store is the AP cache: a capacity-bounded object store with TTL expiry,
@@ -80,6 +95,15 @@ type Store struct {
 	used          int64
 	blocklist     map[string]struct{}
 	stats         StoreStats
+	// purged is the coherence high-water mark: the newest version the
+	// origin has announced per URL. Puts of older payloads are dropped so
+	// an in-flight delegation cannot resurrect purged bytes.
+	purged map[string]int64
+	// negative holds purged-and-gone URLs with the time their negative-
+	// cache window ends; within the window the flag is Cache-Miss and
+	// delegation answers 410 without contacting the edge.
+	negative    map[string]time.Time
+	negativeTTL time.Duration
 }
 
 // NewStore builds a cache with the given capacity and policy. A zero
@@ -100,6 +124,9 @@ func NewStore(clock vclock.Clock, capacity int64, maxObjectSize int64, policy Po
 		entries:       make(map[string]*Entry),
 		byHash:        make(map[uint64]string),
 		blocklist:     make(map[string]struct{}),
+		purged:        make(map[string]int64),
+		negative:      make(map[string]time.Time),
+		negativeTTL:   DefaultNegativeTTL,
 	}
 }
 
@@ -147,7 +174,20 @@ func (s *Store) flagLocked(url string) dnswire.CacheFlag {
 	if _, blocked := s.blocklist[url]; blocked {
 		return dnswire.FlagCacheMiss
 	}
+	if until, ok := s.negative[url]; ok && s.clock.Now().Before(until) {
+		// Purged-and-gone: refetching would only 410 at the origin, so
+		// steer the client away from both AP and delegation.
+		return dnswire.FlagCacheMiss
+	}
 	if e, ok := s.entries[url]; ok && e.Fresh(s.clock.Now()) {
+		if e.Stale {
+			if e.StaleServed {
+				// The one allowed stale serve is spent; the client must
+				// wait out the revalidation via delegation.
+				return dnswire.FlagDelegation
+			}
+			return dnswire.FlagStale
+		}
 		return dnswire.FlagCacheHit
 	}
 	return dnswire.FlagDelegation
@@ -203,7 +243,8 @@ func (s *Store) DomainFullyCached(domain string) bool {
 	return true
 }
 
-// Get returns the entry for url if fresh, updating recency.
+// Get returns the entry for url if fresh and not purged, updating
+// recency. Purged entries are only reachable through GetStale.
 func (s *Store) Get(url string) (*Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -212,7 +253,7 @@ func (s *Store) Get(url string) (*Entry, bool) {
 		return nil, false
 	}
 	now := s.clock.Now()
-	if !e.Fresh(now) {
+	if !e.Fresh(now) || e.Stale {
 		return nil, false
 	}
 	e.LastUsed = now
@@ -237,6 +278,16 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		s.stats.Blocked++
 		return fmt.Errorf("%w: %s (%d bytes)", ErrBlocked, obj.URL, size)
 	}
+	if hw, ok := s.purged[obj.URL]; ok && obj.Version < hw {
+		// An in-flight fetch raced a purge: the bytes are already known
+		// stale, so caching them would resurrect exactly what the origin
+		// invalidated.
+		s.stats.StaleDrops++
+		return fmt.Errorf("%w: %s (version %d < purge %d)", ErrStaleVersion, obj.URL, obj.Version, hw)
+	}
+	// A current-or-newer payload supersedes any negative-cache window (the
+	// object was re-created at the origin).
+	delete(s.negative, obj.URL)
 
 	if old, ok := s.entries[obj.URL]; ok {
 		// Refresh in place.
@@ -245,6 +296,9 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		old.Expiry = now.Add(obj.TTL)
 		old.FetchLatency = fetchLatency
 		old.LastUsed = now
+		old.Version = obj.Version
+		old.Stale = false
+		old.StaleServed = false
 		s.stats.Updates++
 		s.makeRoom(nil) // in case the refresh grew the entry
 		return nil
@@ -257,6 +311,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		FetchLatency: fetchLatency,
 		LastUsed:     now,
 		Inserted:     now,
+		Version:      obj.Version,
 	}
 	s.makeRoom(entry)
 	s.entries[obj.URL] = entry
@@ -346,6 +401,11 @@ func (s *Store) SweepExpired() int {
 			s.removeEntry(url)
 			s.stats.Expired++
 			dropped++
+		}
+	}
+	for url, until := range s.negative {
+		if !now.Before(until) {
+			delete(s.negative, url)
 		}
 	}
 	return dropped

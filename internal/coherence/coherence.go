@@ -1,0 +1,200 @@
+// Package coherence is the origin-driven cache-coherence subsystem: it
+// gives every cached object an origin version (carried as an ETag), and
+// propagates origin updates through a publish/subscribe invalidation bus
+// so that AP caches do not keep serving stale bytes until TTL expiry.
+//
+// The moving parts:
+//
+//   - Versions and ETags. The origin stamps each object with a
+//     monotonically increasing version; FormatETag/ParseETag translate it
+//     to and from the HTTP validator carried in ETag / If-None-Match
+//     headers.
+//
+//   - The bus. A Hub runs next to the edge cache server. The origin
+//     publishes "PURGE url@version" messages to the hub; the hub first
+//     invalidates the edge's own copy, then relays the purge to every
+//     subscribed downstream cache (the AP fleet, or the Wi-Cache
+//     controller which fans out to its registered APs).
+//
+//   - AP-side modes. Subscribers handle a purge in one of two ways:
+//     ModeInvalidate evicts the object immediately (next request is a
+//     delegation miss); ModeSWR (stale-while-revalidate) keeps the purged
+//     entry resident, allows it to be served once more, and refreshes it
+//     in the background with a conditional If-None-Match fetch.
+//
+// The package is transport-only: it knows nothing about object stores or
+// cache policies, so objstore, apcache and wicache can all depend on it
+// without cycles.
+package coherence
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/httplite"
+	"apecache/internal/transport"
+)
+
+// Mode selects how a cache handles purge messages.
+type Mode int
+
+// Coherence modes.
+const (
+	// ModeOff is the paper's TTL-only baseline: no bus subscription,
+	// entries live until expiry.
+	ModeOff Mode = iota
+	// ModeInvalidate evicts a purged object immediately.
+	ModeInvalidate
+	// ModeSWR keeps a purged-but-resident entry servable exactly once
+	// while a background conditional re-fetch refreshes or evicts it.
+	ModeSWR
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "ttl-only"
+	case ModeInvalidate:
+		return "invalidate"
+	case ModeSWR:
+		return "stale-while-revalidate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a CLI/config string to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "ttl", "ttl-only", "none":
+		return ModeOff, nil
+	case "invalidate", "purge":
+		return ModeInvalidate, nil
+	case "swr", "stale-while-revalidate":
+		return ModeSWR, nil
+	default:
+		return ModeOff, fmt.Errorf("coherence: unknown mode %q (off, invalidate, swr)", s)
+	}
+}
+
+// Msg is one purge event: the origin declares that every cached copy of
+// URL older than Version is stale. Gone additionally declares that the
+// object no longer exists at the origin, so caches should negative-cache
+// it rather than re-fetch.
+type Msg struct {
+	URL     string `json:"url"`
+	Version int64  `json:"version"`
+	Gone    bool   `json:"gone,omitempty"`
+}
+
+// String renders the wire mnemonic "PURGE url@version".
+func (m Msg) String() string {
+	suffix := ""
+	if m.Gone {
+		suffix = " gone"
+	}
+	return fmt.Sprintf("PURGE %s@%d%s", m.URL, m.Version, suffix)
+}
+
+// Canonical returns the message with its URL reduced to the basic URL
+// identity used for cache matching.
+func (m Msg) Canonical() Msg {
+	m.URL = dnswire.BasicURL(m.URL)
+	return m
+}
+
+// FormatETag renders a version as the weak HTTP validator carried in
+// ETag and If-None-Match headers.
+func FormatETag(version int64) string {
+	return fmt.Sprintf("W/\"v%d\"", version)
+}
+
+// ParseETag recovers the version from a validator produced by FormatETag.
+// Unversioned or foreign validators return ok=false.
+func ParseETag(etag string) (int64, bool) {
+	s := strings.TrimSpace(etag)
+	s = strings.TrimPrefix(s, "W/")
+	s = strings.Trim(s, "\"")
+	if !strings.HasPrefix(s, "v") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s[1:], 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Bus path constants. The hub mounts under PathPrefix so it can share a
+// mux with an object server (object paths never start with "/_coherence").
+const (
+	PathPrefix    = "/_coherence"
+	PathSubscribe = PathPrefix + "/subscribe"
+	PathPublish   = PathPrefix + "/publish"
+	// DefaultPurgePath is where subscribers receive relayed purges.
+	DefaultPurgePath = "/purge"
+)
+
+// subscription is one registered downstream cache.
+type subscription struct {
+	Addr transport.Addr `json:"addr"`
+	Path string         `json:"path"`
+}
+
+// Subscribe registers addr/path with the hub at hubAddr so relayed purges
+// arrive as POST path at addr. client must dial from the subscriber's own
+// host. Re-subscribing the same addr/path is idempotent.
+func Subscribe(client *httplite.Client, hubAddr, addr transport.Addr, path string) error {
+	if path == "" {
+		path = DefaultPurgePath
+	}
+	body, err := json.Marshal(subscription{Addr: addr, Path: path})
+	if err != nil {
+		return fmt.Errorf("coherence: encode subscription: %w", err)
+	}
+	req := httplite.NewRequest("POST", hubAddr.Host, PathSubscribe)
+	req.Body = body
+	resp, err := client.Do(hubAddr, req)
+	if err != nil {
+		return fmt.Errorf("coherence: subscribe at %s: %w", hubAddr, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("coherence: subscribe at %s: status %d", hubAddr, resp.Status)
+	}
+	return nil
+}
+
+// Publish sends a purge message to the hub at hubAddr, which invalidates
+// the edge copy and relays to every subscriber.
+func Publish(client *httplite.Client, hubAddr transport.Addr, msg Msg) error {
+	body, err := json.Marshal(msg.Canonical())
+	if err != nil {
+		return fmt.Errorf("coherence: encode purge: %w", err)
+	}
+	req := httplite.NewRequest("POST", hubAddr.Host, PathPublish)
+	req.Body = body
+	resp, err := client.Do(hubAddr, req)
+	if err != nil {
+		return fmt.Errorf("coherence: publish to %s: %w", hubAddr, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("coherence: publish to %s: status %d", hubAddr, resp.Status)
+	}
+	return nil
+}
+
+// ParseMsg decodes a purge message from a relayed request body.
+func ParseMsg(body []byte) (Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Msg{}, fmt.Errorf("coherence: decode purge: %w", err)
+	}
+	if m.URL == "" {
+		return Msg{}, fmt.Errorf("coherence: purge without url")
+	}
+	return m.Canonical(), nil
+}

@@ -1,0 +1,123 @@
+package coherence
+
+import (
+	"encoding/json"
+	"sync"
+
+	"apecache/internal/httplite"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// Hub is the invalidation bus: it accepts purge publications from the
+// origin, applies them locally (normally to the colocated edge cache)
+// and relays them to every subscribed downstream cache. It implements
+// httplite.Handler for the PathSubscribe and PathPublish routes, so it
+// shares the edge server's port via Wrap.
+type Hub struct {
+	env    vclock.Env
+	client *httplite.Client
+	// onPurge invalidates the local (edge) copy before the fan-out, so a
+	// revalidating AP never re-fetches the stale bytes it just purged.
+	onPurge func(Msg)
+
+	mu   sync.Mutex
+	subs []subscription
+	// Published counts accepted purge publications, Relayed the per-
+	// subscriber deliveries attempted. Read them only from quiescent code.
+	Published int
+	Relayed   int
+}
+
+// NewHub builds a hub that dials subscribers from host. onPurge may be
+// nil when there is no colocated cache to invalidate.
+func NewHub(env vclock.Env, host transport.Host, onPurge func(Msg)) *Hub {
+	return &Hub{env: env, client: httplite.NewClient(host), onPurge: onPurge}
+}
+
+var _ httplite.Handler = (*Hub)(nil)
+
+// Subscribers returns a snapshot of the registered subscriber endpoints.
+func (h *Hub) Subscribers() []transport.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]transport.Addr, 0, len(h.subs))
+	for _, s := range h.subs {
+		out = append(out, s.Addr)
+	}
+	return out
+}
+
+// ServeHTTP implements httplite.Handler for the bus routes.
+func (h *Hub) ServeHTTP(req *httplite.Request) *httplite.Response {
+	switch {
+	case req.Path == PathSubscribe:
+		return h.handleSubscribe(req)
+	case req.Path == PathPublish:
+		return h.handlePublish(req)
+	default:
+		return httplite.NewResponse(404, []byte("unknown bus route"))
+	}
+}
+
+// Wrap returns a handler that routes bus paths to the hub and everything
+// else to next — how the hub shares the edge cache server's port.
+func (h *Hub) Wrap(next httplite.Handler) httplite.Handler {
+	mux := httplite.NewMux()
+	mux.Handle(PathPrefix, h)
+	mux.Handle("/", next)
+	return mux
+}
+
+func (h *Hub) handleSubscribe(req *httplite.Request) *httplite.Response {
+	var sub subscription
+	if err := json.Unmarshal(req.Body, &sub); err != nil || sub.Addr.IsZero() {
+		return httplite.NewResponse(400, []byte("bad subscription body"))
+	}
+	if sub.Path == "" {
+		sub.Path = DefaultPurgePath
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		if s.Addr == sub.Addr && s.Path == sub.Path {
+			return httplite.NewResponse(200, nil) // idempotent re-subscribe
+		}
+	}
+	h.subs = append(h.subs, sub)
+	return httplite.NewResponse(200, nil)
+}
+
+func (h *Hub) handlePublish(req *httplite.Request) *httplite.Response {
+	msg, err := ParseMsg(req.Body)
+	if err != nil {
+		return httplite.NewResponse(400, []byte(err.Error()))
+	}
+	// Invalidate the colocated edge copy first: by the time any
+	// subscriber revalidates, the edge fetch-through path already serves
+	// the new version.
+	if h.onPurge != nil {
+		h.onPurge(msg)
+	}
+	h.mu.Lock()
+	h.Published++
+	subs := make([]subscription, len(h.subs))
+	copy(subs, h.subs)
+	h.Relayed += len(subs)
+	h.mu.Unlock()
+
+	body, _ := json.Marshal(msg)
+	for _, sub := range subs {
+		sub := sub
+		// Relay in background tasks: publication latency must not grow
+		// with fleet size, and one dead subscriber must not stall the
+		// rest. Delivery is best-effort, like the edge's TTLs it rides
+		// over — a lost purge degrades to TTL-only behaviour.
+		h.env.Go("coherence.relay", func() {
+			preq := httplite.NewRequest("POST", sub.Addr.Host, sub.Path)
+			preq.Body = body
+			_, _ = h.client.Do(sub.Addr, preq)
+		})
+	}
+	return httplite.NewResponse(200, nil)
+}

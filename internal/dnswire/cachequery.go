@@ -25,6 +25,11 @@ const (
 	// FlagDelegation: the AP does not hold the object but will fetch,
 	// cache and relay it if asked (first sighting or expired entry).
 	FlagDelegation
+	// FlagStale: the AP holds a copy that the origin has purged but the
+	// coherence policy (stale-while-revalidate) still allows serving once
+	// while a background revalidation runs; the client may fetch it from
+	// the AP at hit speed, accepting one potentially stale response.
+	FlagStale
 )
 
 // String renders the flag mnemonic.
@@ -38,6 +43,8 @@ func (f CacheFlag) String() string {
 		return "Cache-Miss"
 	case FlagDelegation:
 		return "Delegation"
+	case FlagStale:
+		return "Stale"
 	default:
 		return fmt.Sprintf("Flag(%d)", uint8(f))
 	}

@@ -180,7 +180,7 @@ func TestCacheRRRoundTripProperty(t *testing.T) {
 	f := func(hashes []uint64, flagSeed uint8) bool {
 		entries := make([]CacheEntry, len(hashes))
 		for i, h := range hashes {
-			entries[i] = CacheEntry{Hash: h, Flag: CacheFlag(1 + (uint8(i)+flagSeed)%3)}
+			entries[i] = CacheEntry{Hash: h, Flag: CacheFlag(1 + (uint8(i)+flagSeed)%4)}
 		}
 		rr := NewCacheRR("api.example.com", ClassCacheResponse, entries)
 		got, err := ParseCacheRR(rr)
@@ -228,6 +228,37 @@ func TestCacheRRInMessageSurvivesWire(t *testing.T) {
 	}
 	if _, ok := got.FindCacheRR(ClassCacheResponse); ok {
 		t.Error("found response RR in a request message")
+	}
+}
+
+func TestStaleFlagSurvivesWire(t *testing.T) {
+	if FlagStale.String() != "Stale" || FlagStale != 4 {
+		t.Fatalf("FlagStale = %d %q", FlagStale, FlagStale)
+	}
+	entries := []CacheEntry{
+		{Hash: HashURL("http://api.movie.example/id"), Flag: FlagStale},
+		{Hash: HashURL("http://api.movie.example/cast"), Flag: FlagCacheHit},
+	}
+	q := NewQuery(43, "api.movie.example", TypeA)
+	q.Additional = append(q.Additional, NewCacheRR("api.movie.example", ClassCacheResponse, entries))
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	rr, ok := got.FindCacheRR(ClassCacheResponse)
+	if !ok {
+		t.Fatal("cache RR not found")
+	}
+	parsed, err := ParseCacheRR(rr)
+	if err != nil || len(parsed) != 2 {
+		t.Fatalf("ParseCacheRR = %v, %v", parsed, err)
+	}
+	if parsed[0].Flag != FlagStale || parsed[1].Flag != FlagCacheHit {
+		t.Errorf("flags drifted: %+v", parsed)
 	}
 }
 

@@ -20,6 +20,8 @@ func FuzzDecode(f *testing.F) {
 	r.Answers = append(r.Answers,
 		NewCNAME("www.apple.com", 300, "edge.example"),
 		NewA("edge.example", 20, IPv4{1, 2, 3, 4}))
+	r.Additional = append(r.Additional, NewCacheRR("www.apple.com", ClassCacheResponse,
+		[]CacheEntry{{Hash: 42, Flag: FlagStale}, {Hash: 43, Flag: FlagDelegation}}))
 	if wire, err := r.Encode(); err == nil {
 		f.Add(wire)
 	}

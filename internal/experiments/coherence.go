@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"apecache/internal/coherence"
+	"apecache/internal/objstore"
+	"apecache/internal/testbed"
+	"apecache/internal/vclock"
+	"apecache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "coherence",
+		Title: "Coherence under a mutating origin: TTL-only vs push invalidation vs stale-while-revalidate",
+		Run:   runCoherence,
+	})
+}
+
+// coherenceModes pairs the swept modes with their display labels.
+var coherenceModes = []struct {
+	label string
+	mode  coherence.Mode
+}{
+	{"TTL-only", coherence.ModeOff},
+	{"Invalidate", coherence.ModeInvalidate},
+	{"SWR", coherence.ModeSWR},
+}
+
+// coherenceOutcome aggregates one mode's run.
+type coherenceOutcome struct {
+	purges   int
+	fetches  int
+	stale    int
+	hitRatio float64
+}
+
+// runCoherence replays the same mutating-origin schedule against an
+// APE-CACHE AP in each coherence mode. A driver fetches a fixed set of
+// objects on a steady cadence while the origin periodically mutates one of
+// them and publishes the purge on the bus; every fetched body is compared
+// against the origin's current version to count stale serves. Each probe
+// lands right after the bus relay, inside the stale-while-revalidate
+// window, so the modes' signatures separate: TTL-only keeps serving the
+// old bytes until the TTL would expire, push invalidation serves fresh at
+// the price of a miss per purge, and SWR bounds staleness at one serve per
+// purged object without giving up the hit.
+func runCoherence(cfg RunConfig) (*Result, error) {
+	duration := cfg.workloadDuration() / 6
+	if duration < 30*time.Second {
+		duration = 30 * time.Second
+	}
+	mutateEvery := duration / 6
+	fetchEvery := 2 * time.Second
+
+	res := &Result{
+		ID:     "coherence",
+		Title:  "Stale serves and hit ratio under a mutating origin",
+		Header: []string{"Mode", "Purges", "Fetches", "Stale serves", "Stale/purge", "Hit ratio"},
+		Notes: []string{
+			"stale serve = fetched body differs from the origin's version at fetch time",
+			"TTL-only never hears about mutations, so copies stay stale until their TTL runs out",
+			"Invalidate evicts on purge (always fresh, one miss per purge); SWR serves the purged copy at most once while revalidating in the background, keeping the hit ratio",
+		},
+	}
+	for _, m := range coherenceModes {
+		out, err := runCoherenceMode(m.mode, cfg.Seed, duration, mutateEvery, fetchEvery)
+		if err != nil {
+			return nil, fmt.Errorf("coherence %s: %w", m.label, err)
+		}
+		perPurge := 0.0
+		if out.purges > 0 {
+			perPurge = float64(out.stale) / float64(out.purges)
+		}
+		res.Rows = append(res.Rows, []string{
+			m.label,
+			fmt.Sprintf("%d", out.purges),
+			fmt.Sprintf("%d", out.fetches),
+			fmt.Sprintf("%d", out.stale),
+			fmt.Sprintf("%.2f", perPurge),
+			ratio(out.hitRatio),
+		})
+	}
+	return res, nil
+}
+
+// runCoherenceMode executes the mutating-origin schedule for one mode.
+func runCoherenceMode(mode coherence.Mode, seed int64, duration, mutateEvery, fetchEvery time.Duration) (*coherenceOutcome, error) {
+	suite := workload.Generate(workload.GeneratorConfig{NumApps: 4, Seed: seed + 33})
+	sim := vclock.NewSim(time.Time{})
+	out := &coherenceOutcome{}
+	var runErr error
+	sim.Run("coherence", func() {
+		tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+			Suite: suite, Seed: seed, Coherence: mode,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		app := suite.Apps[0]
+		objects := app.Objects()
+		fetcher := tb.FetcherFor(app)
+
+		fetch := func(o *objstore.Object) error {
+			body, err := fetcher.Get(o.URL)
+			if err != nil {
+				return err
+			}
+			out.fetches++
+			if !bytes.Equal(body, o.Body()) {
+				out.stale++
+			}
+			return nil
+		}
+
+		// Warm every tracked object and let the background fills land
+		// before measuring.
+		for _, o := range objects {
+			if _, err := fetcher.Get(o.URL); err != nil {
+				runErr = err
+				return
+			}
+		}
+		sim.Sleep(2 * time.Second)
+
+		start := sim.Now()
+		nextMutate := start.Add(mutateEvery)
+		mutations := 0
+		for sim.Now().Sub(start) < duration {
+			if !sim.Now().Before(nextMutate) {
+				target := objects[mutations%len(objects)]
+				mutations++
+				nextMutate = nextMutate.Add(mutateEvery)
+				if _, err := tb.MutateObject(target.URL); err != nil {
+					runErr = err
+					return
+				}
+				out.purges++
+				// Probe inside the stale window: the bus relay has landed
+				// but the background revalidation is still in flight.
+				sim.Sleep(25 * time.Millisecond)
+				if err := fetch(target); err != nil {
+					runErr = err
+					return
+				}
+				sim.Sleep(fetchEvery)
+				continue
+			}
+			for _, o := range objects {
+				if err := fetch(o); err != nil {
+					runErr = err
+					return
+				}
+			}
+			sim.Sleep(fetchEvery)
+		}
+		out.hitRatio = tb.HitStats().All.Ratio()
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

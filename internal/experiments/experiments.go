@@ -126,7 +126,7 @@ func orderKey(id string) string {
 		"fig11a": "04", "fig11b": "05", "fig11c": "06",
 		"table4": "07", "table5": "08", "table6": "09",
 		"fig12": "10", "fig13a": "11", "fig13b": "12", "fig13c": "13",
-		"fig14": "14", "table7": "15",
+		"fig14": "14", "table7": "15", "coherence": "16",
 	}
 	if k, ok := order[id]; ok {
 		return k

@@ -16,7 +16,7 @@ func TestRegistryIsComplete(t *testing.T) {
 		"fig11a", "fig11b", "fig11c",
 		"table4", "table5", "table6",
 		"fig12", "fig13a", "fig13b", "fig13c",
-		"fig14", "table7",
+		"fig14", "table7", "coherence",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -218,6 +218,41 @@ func TestTable7CountsEffort(t *testing.T) {
 			t.Errorf("%s: API model (%f) should impact more LoC than annotations (%f)",
 				res.Rows[i][0], api, ann)
 		}
+	}
+}
+
+func TestCoherenceSweepSeparatesModes(t *testing.T) {
+	res, err := mustRun(t, "coherence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (TTL-only, Invalidate, SWR)", len(res.Rows))
+	}
+	purges := numericCell(t, res.Rows[0][1])
+	if purges == 0 {
+		t.Fatal("no purges published")
+	}
+	ttlStalePerPurge := numericCell(t, res.Rows[0][4])
+	invStale := numericCell(t, res.Rows[1][3])
+	swrStalePerPurge := numericCell(t, res.Rows[2][4])
+	// TTL-only keeps serving the old bytes until the TTL runs out.
+	if ttlStalePerPurge <= 1 {
+		t.Errorf("TTL-only stale/purge = %f, want well above 1", ttlStalePerPurge)
+	}
+	// Push invalidation never serves stale; SWR at most once per purge.
+	if invStale != 0 {
+		t.Errorf("Invalidate served %f stale responses, want 0", invStale)
+	}
+	if swrStalePerPurge > 1 {
+		t.Errorf("SWR stale/purge = %f, want <= 1", swrStalePerPurge)
+	}
+	// SWR's single stale serve keeps the hit, so its ratio must not fall
+	// below push invalidation's (which pays a miss per purge).
+	invHit := numericCell(t, res.Rows[1][5])
+	swrHit := numericCell(t, res.Rows[2][5])
+	if swrHit < invHit {
+		t.Errorf("SWR hit ratio %f below Invalidate's %f", swrHit, invHit)
 	}
 }
 

@@ -84,10 +84,14 @@ func statusText(code int) string {
 		return "No Content"
 	case 302:
 		return "Found"
+	case 304:
+		return "Not Modified"
 	case 400:
 		return "Bad Request"
 	case 404:
 		return "Not Found"
+	case 410:
+		return "Gone"
 	case 413:
 		return "Payload Too Large"
 	case 500:

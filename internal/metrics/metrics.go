@@ -14,18 +14,25 @@ import (
 // LatencyStats accumulates duration samples and reports summary
 // statistics. The zero value is ready to use.
 type LatencyStats struct {
+	// samples stays in insertion order; Percentile works on a private
+	// sorted shadow so callers reading the series chronologically (or
+	// holding a slice from Samples) never observe a reordering.
 	samples []time.Duration
-	sorted  bool
+	sorted  []time.Duration
 }
 
 // Add records one sample.
 func (s *LatencyStats) Add(d time.Duration) {
 	s.samples = append(s.samples, d)
-	s.sorted = false
 }
 
 // Count returns the number of samples.
 func (s *LatencyStats) Count() int { return len(s.samples) }
+
+// Samples returns the recorded durations in insertion order (a copy).
+func (s *LatencyStats) Samples() []time.Duration {
+	return append([]time.Duration(nil), s.samples...)
+}
 
 // Mean returns the arithmetic mean, or zero with no samples.
 func (s *LatencyStats) Mean() time.Duration {
@@ -45,18 +52,26 @@ func (s *LatencyStats) Percentile(p float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
-	}
-	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	sorted := s.sortedShadow()
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(s.samples) {
-		rank = len(s.samples)
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return s.samples[rank-1]
+	return sorted[rank-1]
+}
+
+// sortedShadow returns the lazily rebuilt sorted copy of the samples.
+// Add and Merge only ever grow the sample slice, so a length mismatch is
+// exactly the staleness condition.
+func (s *LatencyStats) sortedShadow() []time.Duration {
+	if len(s.sorted) != len(s.samples) {
+		s.sorted = append(s.sorted[:0], s.samples...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	return s.sorted
 }
 
 // P95 is the 95th-percentile tail latency reported throughout the paper.
@@ -76,7 +91,6 @@ func (s *LatencyStats) Max() time.Duration { return s.Percentile(100) }
 // Merge folds other's samples into s.
 func (s *LatencyStats) Merge(other *LatencyStats) {
 	s.samples = append(s.samples, other.samples...)
-	s.sorted = false
 }
 
 // String renders "mean/p95 (n)" for logs.

@@ -156,3 +156,57 @@ func TestLatencyStatsStringFormat(t *testing.T) {
 		t.Errorf("String = %q", out)
 	}
 }
+
+// TestPercentilePreservesInsertionOrder is the regression test for the
+// in-place-sort bug: Percentile used to reorder the sample slice itself,
+// so interleaved Add/Percentile/Merge calls destroyed the chronological
+// series. The sorted shadow must keep Samples() in insertion order while
+// percentiles stay correct at every step.
+func TestPercentilePreservesInsertionOrder(t *testing.T) {
+	inserted := []time.Duration{9, 1, 7, 3, 8, 2}
+	var s LatencyStats
+	s.Add(inserted[0])
+	s.Add(inserted[1])
+	s.Add(inserted[2])
+	if got := s.Percentile(100); got != 9 {
+		t.Fatalf("max of first three = %v, want 9", got)
+	}
+	s.Add(inserted[3]) // Add after Percentile
+	var other LatencyStats
+	other.Add(inserted[4])
+	_ = other.Percentile(50) // sort the donor too
+	other.Add(inserted[5])
+	s.Merge(&other) // Merge after both sides sorted
+
+	got := s.Samples()
+	if len(got) != len(inserted) {
+		t.Fatalf("len = %d, want %d", len(got), len(inserted))
+	}
+	for i, want := range inserted {
+		if got[i] != want {
+			t.Fatalf("insertion order broken at %d: %v, want %v (full: %v)", i, got[i], want, got)
+		}
+	}
+	// Percentiles over the merged set remain correct.
+	if s.Percentile(100) != 9 || s.Min() != 1 || s.Percentile(50) != 3 {
+		t.Errorf("percentiles wrong: max=%v min=%v p50=%v", s.Percentile(100), s.Min(), s.Percentile(50))
+	}
+	// And the sorted shadow did not leak into the visible series.
+	again := s.Samples()
+	for i, want := range inserted {
+		if again[i] != want {
+			t.Fatalf("order broken after percentile at %d: %v", i, again)
+		}
+	}
+}
+
+// TestSamplesReturnsCopy guards against the accessor aliasing internals.
+func TestSamplesReturnsCopy(t *testing.T) {
+	var s LatencyStats
+	s.Add(5)
+	got := s.Samples()
+	got[0] = 99
+	if s.Samples()[0] != 5 {
+		t.Error("Samples aliases the internal slice")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"apecache/internal/coherence"
 	"apecache/internal/dnswire"
 )
 
@@ -36,6 +37,11 @@ type Object struct {
 	// OriginDelay is the simulated extra latency of producing the object
 	// at the origin (20–50 ms in the paper's synthetic workload).
 	OriginDelay time.Duration
+	// Version is the object's origin version, bumped by Catalog.Mutate
+	// whenever the origin re-produces the object. It is carried across
+	// the stack as an ETag and drives the coherence subsystem's purge and
+	// revalidation decisions. Version 0 is the initial state.
+	Version int64
 }
 
 // Domain returns the object's URL host.
@@ -47,17 +53,29 @@ func (o *Object) Path() string { return dnswire.URLPath(o.URL) }
 // Hash returns the object's DNS-Cache hash.
 func (o *Object) Hash() uint64 { return dnswire.HashURL(o.URL) }
 
-// Body deterministically generates the object's payload: a repeating
-// pattern derived from the URL so integrity can be checked anywhere in the
-// stack without storing bodies.
-func (o *Object) Body() []byte { return BodyFor(o.URL, o.Size) }
+// Body deterministically generates the object's payload for its current
+// version: a repeating pattern derived from the URL and version so
+// integrity — and staleness — can be checked anywhere in the stack
+// without storing bodies.
+func (o *Object) Body() []byte { return VersionedBody(o.URL, o.Size, o.Version) }
 
-// BodyFor generates the deterministic payload for any url/size pair.
-func BodyFor(url string, size int) []byte {
+// ETag returns the object's current HTTP validator.
+func (o *Object) ETag() string { return coherence.FormatETag(o.Version) }
+
+// BodyFor generates the deterministic payload for any url/size pair at
+// version 0.
+func BodyFor(url string, size int) []byte { return VersionedBody(url, size, 0) }
+
+// VersionedBody generates the deterministic payload for a url/size pair
+// at a given origin version. Version 0 matches BodyFor, so unversioned
+// callers are unaffected; any other version produces different bytes,
+// which is what lets the coherence experiments detect a stale serve by
+// comparing payloads.
+func VersionedBody(url string, size int, version int64) []byte {
 	if size <= 0 {
 		return nil
 	}
-	seed := dnswire.HashURL(url)
+	seed := dnswire.HashURL(url) ^ (uint64(version) * 0x9E3779B97F4A7C15)
 	body := make([]byte, size)
 	state := seed
 	for i := range body {
@@ -130,6 +148,41 @@ func (c *Catalog) ByDomain(domain string) []*Object {
 
 // All returns every object in insertion order.
 func (c *Catalog) All() []*Object { return c.ordered }
+
+// Mutate models an origin update: it bumps the object's version, which
+// changes the payload Body generates, and returns the new version. The
+// caller is responsible for publishing the corresponding purge on the
+// coherence bus. Mutation must be serialized with readers (the simulator's
+// single-floor scheduler does this; real deployments mutate out-of-band).
+func (c *Catalog) Mutate(url string) (int64, bool) {
+	o, ok := c.byURL[dnswire.BasicURL(url)]
+	if !ok {
+		return 0, false
+	}
+	o.Version++
+	return o.Version, true
+}
+
+// Remove models an origin deletion: the object disappears from the
+// byURL/byDomain indexes so subsequent requests 404, mirroring a
+// purged-and-gone object. It returns the removed object's last version.
+func (c *Catalog) Remove(url string) (int64, bool) {
+	basic := dnswire.BasicURL(url)
+	o, ok := c.byURL[basic]
+	if !ok {
+		return 0, false
+	}
+	delete(c.byURL, basic)
+	domain := o.Domain()
+	objs := c.byDomain[domain]
+	for i, other := range objs {
+		if other == o {
+			c.byDomain[domain] = append(objs[:i], objs[i+1:]...)
+			break
+		}
+	}
+	return o.Version, true
+}
 
 // Len returns the number of objects.
 func (c *Catalog) Len() int { return len(c.byURL) }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"apecache/internal/coherence"
 	"apecache/internal/httplite"
 	"apecache/internal/simnet"
 	"apecache/internal/transport"
@@ -191,6 +192,75 @@ func TestOriginUnknownObject404(t *testing.T) {
 		resp, err := c.Get(transport.Addr{Host: "edge", Port: 80}, "nothere.example", "/x")
 		if err != nil || resp.Status != 404 {
 			t.Errorf("resp = %v, %v; want 404", resp, err)
+		}
+	})
+}
+
+func TestVersionedBodyBackwardCompatible(t *testing.T) {
+	if !bytes.Equal(VersionedBody("http://x/a", 512, 0), BodyFor("http://x/a", 512)) {
+		t.Error("version 0 body differs from BodyFor")
+	}
+	if bytes.Equal(VersionedBody("http://x/a", 512, 1), VersionedBody("http://x/a", 512, 0)) {
+		t.Error("mutated version shares the old body")
+	}
+}
+
+func TestMutateRemoveAndConditionalGets(t *testing.T) {
+	o := obj("http://api.app.example/data", "app", 256, PriorityHigh, 20*time.Millisecond)
+	catalog := NewCatalog(o)
+	edgeFixture(t, catalog, func(sim *vclock.Sim, net *simnet.Network, edge *EdgeCacheServer, origin *OriginServer) {
+		c := httplite.NewClient(net.Node("client"))
+		addr := transport.Addr{Host: "edge", Port: 80}
+
+		resp, err := c.Get(addr, "api.app.example", "/data")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("cold get: %v %v", resp, err)
+			return
+		}
+		v0etag := resp.Get("ETag")
+		if v0etag == "" {
+			t.Error("edge response missing ETag")
+		}
+
+		// Matching validator gets 304 from the warm edge, no body.
+		req := httplite.NewRequest("GET", "api.app.example", "/data")
+		req.Set("If-None-Match", v0etag)
+		resp, err = c.Do(addr, req)
+		if err != nil || resp.Status != 304 || len(resp.Body) != 0 {
+			t.Errorf("conditional warm get = %v %v, want 304 empty", resp, err)
+		}
+
+		// Origin mutation bumps the version; the un-purged edge keeps
+		// serving its resident (now stale) copy until invalidated.
+		if v, ok := catalog.Mutate(o.URL); !ok || v != 1 {
+			t.Errorf("Mutate = %d %v", v, ok)
+		}
+		resp, err = c.Do(addr, req)
+		if err != nil || resp.Status != 304 {
+			t.Errorf("stale edge conditional = %v %v, want 304 (TTL-only)", resp, err)
+		}
+
+		if !edge.Invalidate(o.URL + "?x=1") {
+			t.Error("Invalidate missed resident entry")
+		}
+		req2 := httplite.NewRequest("GET", "api.app.example", "/data")
+		req2.Set("If-None-Match", v0etag)
+		resp, err = c.Do(addr, req2)
+		if err != nil || resp.Status != 200 || !bytes.Equal(resp.Body, o.Body()) {
+			t.Errorf("post-purge conditional = %v %v, want fresh 200", resp, err)
+		}
+		if got, _ := coherence.ParseETag(resp.Get("ETag")); got != 1 {
+			t.Errorf("post-purge ETag = %q, want v1", resp.Get("ETag"))
+		}
+
+		// Removal models purged-and-gone: origin 404s after the entry ages
+		// out of the edge.
+		if v, ok := catalog.Remove(o.URL); !ok || v != 1 {
+			t.Errorf("Remove = %d %v", v, ok)
+		}
+		resp, err = c.Get(addr, "api.app.example", "/data")
+		if err != nil || resp.Status != 404 {
+			t.Errorf("removed object = %v %v, want 404", resp, err)
 		}
 	})
 }

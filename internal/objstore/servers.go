@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"apecache/internal/coherence"
+	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
@@ -28,7 +30,9 @@ func NewOriginServer(env vclock.Env, catalog *Catalog) *OriginServer {
 
 var _ httplite.Handler = (*OriginServer)(nil)
 
-// ServeHTTP implements httplite.Handler.
+// ServeHTTP implements httplite.Handler. Responses carry the object's
+// version as an ETag; a matching If-None-Match gets 304 without paying
+// the production delay (validating is cheap, re-producing is not).
 func (s *OriginServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	obj, ok := s.catalog.LookupRequest(req.Host, req.Path)
 	if !ok {
@@ -37,8 +41,16 @@ func (s *OriginServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	s.mu.Lock()
 	s.Requests++
 	s.mu.Unlock()
+	etag := obj.ETag()
+	if inm := req.Get("If-None-Match"); inm != "" && inm == etag {
+		resp := httplite.NewResponse(304, nil)
+		resp.Set("ETag", etag)
+		resp.Set("X-Ape-Source", "origin")
+		return resp
+	}
 	s.env.Sleep(obj.OriginDelay)
 	resp := httplite.NewResponse(200, obj.Body())
+	resp.Set("ETag", etag)
 	resp.Set("X-Ape-Source", "origin")
 	return resp
 }
@@ -56,8 +68,10 @@ func (s *OriginServer) Run(host transport.Host, port uint16) (transport.Listener
 
 // edgeEntry is one cached object on the edge server.
 type edgeEntry struct {
-	body   []byte
-	expiry time.Time
+	body    []byte
+	expiry  time.Time
+	version int64
+	etag    string
 }
 
 // EdgeCacheServer is the classic edge cache of the baseline: ample
@@ -97,8 +111,22 @@ func (s *EdgeCacheServer) Prepopulate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, o := range s.catalog.All() {
-		s.cache[o.URL] = edgeEntry{body: o.Body(), expiry: now.Add(o.TTL)}
+		s.cache[o.URL] = edgeEntry{body: o.Body(), expiry: now.Add(o.TTL), version: o.Version, etag: o.ETag()}
 	}
+}
+
+// Invalidate drops the edge's cached copy of url, if any. The coherence
+// hub calls it on purge publication, before relaying to subscribers, so
+// AP revalidations always fetch through to the new origin version.
+func (s *EdgeCacheServer) Invalidate(url string) bool {
+	basic := dnswire.BasicURL(url)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[basic]; !ok {
+		return false
+	}
+	delete(s.cache, basic)
+	return true
 }
 
 // ServeHTTP implements httplite.Handler. A warm edge serves everyone at
@@ -115,7 +143,14 @@ func (s *EdgeCacheServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	if e, ok := s.cache[obj.URL]; ok && s.env.Now().Before(e.expiry) {
 		s.Hits++
 		s.mu.Unlock()
+		if inm := req.Get("If-None-Match"); inm != "" && inm == e.etag {
+			resp := httplite.NewResponse(304, nil)
+			resp.Set("ETag", e.etag)
+			resp.Set("X-Ape-Source", "edge")
+			return resp
+		}
 		resp := httplite.NewResponse(200, e.body)
+		resp.Set("ETag", e.etag)
 		resp.Set("X-Ape-Source", "edge")
 		return resp
 	}
@@ -128,10 +163,19 @@ func (s *EdgeCacheServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	if origin.Status != 200 {
 		return origin
 	}
+	etag := origin.Get("ETag")
+	version, _ := coherence.ParseETag(etag)
 	s.mu.Lock()
-	s.cache[obj.URL] = edgeEntry{body: origin.Body, expiry: s.env.Now().Add(obj.TTL)}
+	s.cache[obj.URL] = edgeEntry{body: origin.Body, expiry: s.env.Now().Add(obj.TTL), version: version, etag: etag}
 	s.mu.Unlock()
+	if inm := req.Get("If-None-Match"); inm != "" && inm == etag {
+		resp := httplite.NewResponse(304, nil)
+		resp.Set("ETag", etag)
+		resp.Set("X-Ape-Source", "edge")
+		return resp
+	}
 	resp := httplite.NewResponse(200, origin.Body)
+	resp.Set("ETag", etag)
 	resp.Set("X-Ape-Source", "edge")
 	return resp
 }

@@ -15,9 +15,11 @@ import (
 	"apecache/internal/apeclient"
 	"apecache/internal/appmodel"
 	"apecache/internal/cachepolicy"
+	"apecache/internal/coherence"
 	"apecache/internal/dnsd"
 	"apecache/internal/dnswire"
 	"apecache/internal/edgecache"
+	"apecache/internal/httplite"
 	"apecache/internal/metrics"
 	"apecache/internal/objstore"
 	"apecache/internal/simnet"
@@ -98,6 +100,14 @@ type Config struct {
 	// LDNS→CDN-DNS resolution — the paper's flat ~22 ms lookup stage.
 	// The long-lived CNAME (TTL 300 s) stays cached at the LDNS.
 	DNSAnswerTTL uint32
+	// Coherence selects how caches learn about origin mutations: ModeOff
+	// is TTL-only (purges published via MutateObject still reach the
+	// edge's hub, but no AP subscribes), ModeInvalidate evicts on purge,
+	// ModeSWR additionally serves the stale copy once while revalidating
+	// in the background. APE-CACHE systems get the full mode; the
+	// Wi-Cache controller subscribes (and relays to its fleet) whenever
+	// the mode is not off.
+	Coherence coherence.Mode
 }
 
 func (c *Config) applyDefaults() {
@@ -128,9 +138,13 @@ type Testbed struct {
 	WiAP         *wicache.APServer
 	Edge         *objstore.EdgeCacheServer
 	Origin       *objstore.OriginServer
+	// Hub is the invalidation bus colocated with the edge server (always
+	// present; it has subscribers only when Config.Coherence is not off).
+	Hub *coherence.Hub
 
 	cfg Config
 	rng *rand.Rand
+	pub *httplite.Client
 
 	apeClients  []*apeclient.Client
 	wiClients   []*wicache.Client
@@ -162,9 +176,11 @@ func New(sim *vclock.Sim, system System, cfg Config) (*Testbed, error) {
 	net.SetLink(NodeAP, NodeLDNS, simnet.Path{Latency: 4 * time.Millisecond, Jitter: 500 * time.Microsecond, Hops: 3})
 	net.SetLink(NodeLDNS, NodeADNS, simnet.Path{Latency: 6 * time.Millisecond, Jitter: time.Millisecond, Hops: 6})
 	net.SetLink(NodeLDNS, NodeCDNDNS, simnet.Path{Latency: 4 * time.Millisecond, Jitter: time.Millisecond, Hops: 5})
-	// The Wi-Cache controller on EC2, 12 hops from the AP's clients.
+	// The Wi-Cache controller on EC2, 12 hops from the AP's clients; the
+	// edge leg carries coherence-bus traffic (subscribe + purge relays).
 	net.SetLink(NodeClient, NodeController, simnet.Path{Latency: 11 * time.Millisecond, Jitter: time.Millisecond, Hops: 12, Bandwidth: 40 << 20})
 	net.SetLink(NodeAP, NodeController, simnet.Path{Latency: 10 * time.Millisecond, Jitter: time.Millisecond, Hops: 11, Bandwidth: 100 << 20})
+	net.SetLink(NodeEdge, NodeController, simnet.Path{Latency: 12 * time.Millisecond, Jitter: time.Millisecond, Hops: 10, Bandwidth: 100 << 20})
 
 	if err := tb.startDNS(); err != nil {
 		return nil, err
@@ -219,9 +235,16 @@ func (tb *Testbed) startServers() error {
 	// §V-A: "the edge server's cache capacity was ample enough to store
 	// all cacheable objects" — start warm.
 	tb.Edge.Prepopulate()
-	if _, err := tb.Edge.Run(tb.Net.Node(NodeEdge), 80); err != nil {
-		return fmt.Errorf("testbed: %w", err)
+	// The coherence hub shares the edge port and purges the colocated edge
+	// copy before relaying, so revalidating caches always see fresh bytes.
+	tb.Hub = coherence.NewHub(tb.Sim, tb.Net.Node(NodeEdge), func(m coherence.Msg) { tb.Edge.Invalidate(m.URL) })
+	edgeL, err := tb.Net.Node(NodeEdge).Listen(80)
+	if err != nil {
+		return fmt.Errorf("testbed: edge: %w", err)
 	}
+	edgeSrv := httplite.NewServer(tb.Sim, tb.Hub.Wrap(tb.Edge))
+	tb.Sim.Go("edge.server", func() { edgeSrv.Serve(edgeL) })
+	tb.pub = httplite.NewClient(tb.Net.Node(NodeOrigin))
 
 	switch tb.System {
 	case SystemAPECache, SystemAPECacheLRU:
@@ -245,6 +268,7 @@ func (tb *Testbed) startServers() error {
 			HTTPProcessing:     900 * time.Microsecond,
 			Resources:          tb.cfg.Resources,
 			DisableDummyIP:     tb.cfg.DisableDummyIP,
+			Coherence:          tb.cfg.Coherence,
 		})
 		if err := tb.AP.Start(); err != nil {
 			return fmt.Errorf("testbed: %w", err)
@@ -264,6 +288,13 @@ func (tb *Testbed) startServers() error {
 		tb.WiController.RegisterAP(NodeAP,
 			transport.Addr{Host: NodeAP, Port: wicache.DefaultAPPort},
 			transport.Addr{Host: NodeAP, Port: wicache.DefaultAPPort})
+		if tb.cfg.Coherence != coherence.ModeOff {
+			// Wi-Cache has no SWR: any coherence mode means the controller
+			// subscribes and relays purges across its fleet.
+			if err := tb.WiController.SubscribeBus(transport.Addr{Host: NodeEdge, Port: 80}); err != nil {
+				return fmt.Errorf("testbed: %w", err)
+			}
+		}
 	case SystemEdgeCache:
 		// Clients resolve through a stock AP forwarder: start a plain
 		// APE-less AP (forwarder only) via apcache with zero cache so
@@ -286,6 +317,32 @@ func (tb *Testbed) startServers() error {
 		return fmt.Errorf("testbed: unknown system %d", int(tb.System))
 	}
 	return nil
+}
+
+// MutateObject bumps the origin version of url's object and publishes the
+// purge on the invalidation bus, exactly as an origin-side content update
+// would. It returns the new version. The edge copy is invalidated
+// synchronously by the hub; downstream deliveries are best-effort and
+// land after the bus latency.
+func (tb *Testbed) MutateObject(url string) (int64, error) {
+	v, ok := tb.cfg.Suite.Catalog.Mutate(url)
+	if !ok {
+		return 0, fmt.Errorf("testbed: mutate: unknown object %s", url)
+	}
+	err := coherence.Publish(tb.pub, transport.Addr{Host: NodeEdge, Port: 80}, coherence.Msg{URL: url, Version: v})
+	return v, err
+}
+
+// RemoveObject deletes url's object at the origin and publishes a gone
+// purge, driving downstream negative caching.
+func (tb *Testbed) RemoveObject(url string) (int64, error) {
+	v, ok := tb.cfg.Suite.Catalog.Remove(url)
+	if !ok {
+		return 0, fmt.Errorf("testbed: remove: unknown object %s", url)
+	}
+	v++
+	err := coherence.Publish(tb.pub, transport.Addr{Host: NodeEdge, Port: 80}, coherence.Msg{URL: url, Version: v, Gone: true})
+	return v, err
 }
 
 // Stop closes the system-under-test's listeners.

@@ -1,0 +1,169 @@
+package wicache
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"apecache/internal/coherence"
+	"apecache/internal/httplite"
+	"apecache/internal/objstore"
+	"apecache/internal/simnet"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// TestControllerPurgeFanOutToFleet runs the full bus chain over two APs:
+// the origin publishes to the hub at the edge, the hub relays to the
+// subscribed controller, and the controller fans the purge out to every
+// registered AP — after which the stale copies are gone everywhere, the
+// location table is clean, and the next fetch reaches the edge for the
+// new version.
+func TestControllerPurgeFanOutToFleet(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		net := simnet.New(sim, 12)
+		net.SetLink("client", "ap1", simnet.Path{Latency: 2 * time.Millisecond})
+		net.SetLink("client", "ap2", simnet.Path{Latency: 2 * time.Millisecond})
+		net.SetLink("client", "ec2", simnet.Path{Latency: 11 * time.Millisecond})
+		net.SetLink("client", "edge", simnet.Path{Latency: 14 * time.Millisecond})
+		for _, ap := range []string{"ap1", "ap2"} {
+			net.SetLink(ap, "edge", simnet.Path{Latency: 13 * time.Millisecond})
+			net.SetLink(ap, "ec2", simnet.Path{Latency: 10 * time.Millisecond})
+		}
+		net.SetLink("ec2", "edge", simnet.Path{Latency: 12 * time.Millisecond})
+		net.SetLink("edge", "origin", simnet.Path{Latency: 20 * time.Millisecond})
+
+		obj := &objstore.Object{URL: "http://api.m.example/chunk", App: "m", Size: 16 << 10,
+			TTL: 30 * time.Minute, Priority: 1, OriginDelay: 10 * time.Millisecond}
+		catalog := objstore.NewCatalog(obj)
+		origin := objstore.NewOriginServer(sim, catalog)
+		if _, err := origin.Run(net.Node("origin"), 80); err != nil {
+			t.Errorf("origin: %v", err)
+			return
+		}
+		edge := objstore.NewEdgeCacheServer(sim, net.Node("edge"), catalog, transport.Addr{Host: "origin", Port: 80})
+		edge.Prepopulate()
+		hub := coherence.NewHub(sim, net.Node("edge"), func(m coherence.Msg) { edge.Invalidate(m.URL) })
+		l, err := net.Node("edge").Listen(80)
+		if err != nil {
+			t.Errorf("edge listen: %v", err)
+			return
+		}
+		srv := httplite.NewServer(sim, hub.Wrap(edge))
+		sim.Go("edge.server", func() { srv.Serve(l) })
+		hubAddr := transport.Addr{Host: "edge", Port: 80}
+
+		controller := NewController(sim, net.Node("ec2"))
+		if err := controller.Start(0); err != nil {
+			t.Errorf("controller: %v", err)
+			return
+		}
+		aps := make(map[string]*APServer, 2)
+		for _, name := range []string{"ap1", "ap2"} {
+			ap := NewAPServer(sim, net.Node(name), name, 5<<20,
+				transport.Addr{Host: "edge", Port: 80}, controller.Addr())
+			if err := ap.Start(0); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			controller.RegisterAP(name, ap.Addr(), ap.Addr())
+			aps[name] = ap
+		}
+		if err := controller.SubscribeBus(hubAddr); err != nil {
+			t.Errorf("subscribe: %v", err)
+			return
+		}
+		if got := len(hub.Subscribers()); got != 1 {
+			t.Errorf("hub subscribers = %d, want 1 (one per fleet)", got)
+		}
+
+		// Seed both APs with the v0 copy, the controller pointing at ap1.
+		v0 := obj.Body()
+		for _, ap := range aps {
+			if err := ap.Store().Put(obj, v0, 0); err != nil {
+				t.Errorf("seed put: %v", err)
+				return
+			}
+		}
+		controller.locations[obj.URL] = "ap1"
+
+		// The origin mutates and publishes the purge.
+		v, ok := catalog.Mutate(obj.URL)
+		if !ok {
+			t.Error("Mutate missed object")
+			return
+		}
+		pub := httplite.NewClient(net.Node("origin"))
+		if err := coherence.Publish(pub, hubAddr, coherence.Msg{URL: obj.URL, Version: v}); err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		sim.Sleep(time.Second) // hub -> controller -> both APs
+
+		if controller.Purges != 1 || controller.PurgeRelays != 2 {
+			t.Errorf("controller purges=%d relays=%d, want 1/2", controller.Purges, controller.PurgeRelays)
+		}
+		if _, ok := controller.locations[obj.URL]; ok {
+			t.Error("location survived the purge")
+		}
+		for name, ap := range aps {
+			if ap.Purges != 1 {
+				t.Errorf("%s purges = %d, want 1", name, ap.Purges)
+			}
+			if _, resident := ap.Store().Get(obj.URL); resident {
+				t.Errorf("%s still serves the purged copy", name)
+			}
+		}
+
+		// The next client fetch misses at the controller and lands on the
+		// edge, which — purged by the hub before fan-out — serves v1.
+		client := NewClient(sim, net.Node("client"), "m", controller.Addr(), hubAddr)
+		client.Declare(obj.URL, obj.TTL, obj.Priority)
+		body, err := client.Get(obj.URL)
+		if err != nil || !bytes.Equal(body, obj.Body()) || bytes.Equal(body, v0) {
+			t.Errorf("post-purge fetch stale or failed: %v (%d bytes)", err, len(body))
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPServerSweeperEvictsExpired drives the Wi-Cache AP's background
+// sweep on the virtual clock: an expired LRU entry disappears without any
+// access touching it.
+func TestAPServerSweeperEvictsExpired(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		net := simnet.New(sim, 1)
+		ap := NewAPServer(sim, net.Node("ap"), "ap", 1<<20,
+			transport.Addr{Host: "edge", Port: 80}, transport.Addr{Host: "ec2", Port: 7000})
+		ap.SweepInterval = 10 * time.Second
+		if err := ap.Start(0); err != nil {
+			t.Errorf("ap: %v", err)
+			return
+		}
+		o := &objstore.Object{URL: "http://a.example/x", App: "a", Size: 64, TTL: time.Second, Priority: 1}
+		if err := ap.Store().Put(o, o.Body(), 0); err != nil {
+			t.Errorf("Put: %v", err)
+			return
+		}
+		sim.Sleep(5 * time.Second)
+		if ap.Store().Len() != 1 {
+			t.Errorf("swept early: len=%d", ap.Store().Len())
+		}
+		sim.Sleep(6 * time.Second)
+		if ap.Store().Len() != 0 {
+			t.Errorf("not swept: len=%d", ap.Store().Len())
+		}
+		ap.Stop()
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"apecache/internal/cachepolicy"
+	"apecache/internal/coherence"
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/metrics"
@@ -63,6 +65,10 @@ type Controller struct {
 	ProcessingDelay time.Duration
 	// Locates counts lookup requests (observability).
 	Locates int
+	// Purges counts bus messages handled; PurgeRelays the per-AP
+	// deliveries ordered. Read them only from quiescent code.
+	Purges      int
+	PurgeRelays int
 }
 
 // NewController builds a controller.
@@ -97,9 +103,41 @@ func (c *Controller) Start(port uint16) error {
 	mux := httplite.NewMux()
 	mux.HandleFunc("/locate", c.handleLocate)
 	mux.HandleFunc("/report", c.handleReport)
+	mux.HandleFunc(coherence.DefaultPurgePath, c.handlePurge)
 	srv := httplite.NewServer(c.env, mux)
 	c.env.Go("wicache.controller", func() { srv.Serve(l) })
 	return nil
+}
+
+// SubscribeBus registers the controller's /purge endpoint with the
+// coherence hub at hubAddr; the controller then fans relayed purges out
+// to its whole registered AP fleet (the hub sees one subscriber per
+// fleet, not one per AP).
+func (c *Controller) SubscribeBus(hubAddr transport.Addr) error {
+	return coherence.Subscribe(c.client, hubAddr, c.Addr(), coherence.DefaultPurgePath)
+}
+
+// handlePurge applies one bus message: the location entry is dropped (the
+// next locate misses and triggers a fresh fill) and the purge is relayed
+// to every registered AP so resident LRU copies are evicted too.
+func (c *Controller) handlePurge(req *httplite.Request) *httplite.Response {
+	msg, err := coherence.ParseMsg(req.Body)
+	if err != nil {
+		return httplite.NewResponse(400, []byte(err.Error()))
+	}
+	c.Purges++
+	delete(c.locations, msg.URL)
+	body, _ := json.Marshal(msg)
+	for name, addr := range c.apAddrs {
+		name, addr := name, addr
+		c.PurgeRelays++
+		c.env.Go("wicache.purge-relay", func() {
+			preq := httplite.NewRequest("POST", name, coherence.DefaultPurgePath)
+			preq.Body = body
+			_, _ = c.client.Do(addr, preq)
+		})
+	}
+	return httplite.NewResponse(200, nil)
 }
 
 // Stop closes the controller listener.
@@ -184,8 +222,16 @@ type APServer struct {
 	listener   transport.Listener
 	// ProcessingDelay models per-request handling cost.
 	ProcessingDelay time.Duration
-	// Fills counts fill operations.
-	Fills int
+	// SweepInterval overrides the default expired-entry sweep period when
+	// positive.
+	SweepInterval time.Duration
+	// Fills counts fill operations; Purges counts relayed bus purges
+	// applied. Read them only from quiescent code.
+	Fills  int
+	Purges int
+	// mu guards stopped (the sweeper checks it from its own task).
+	mu      sync.Mutex
+	stopped bool
 }
 
 // NewAPServer builds a Wi-Cache AP with an LRU store of the given
@@ -219,16 +265,56 @@ func (s *APServer) Start(port uint16) error {
 	mux := httplite.NewMux()
 	mux.HandleFunc("/chunk", s.handleChunk)
 	mux.HandleFunc("/fill", s.handleFill)
+	mux.HandleFunc(coherence.DefaultPurgePath, s.handlePurge)
 	srv := httplite.NewServer(s.env, mux)
 	s.env.Go("wicache.ap", func() { srv.Serve(l) })
+	s.startSweeper()
 	return nil
 }
 
 // Stop closes the AP listener.
 func (s *APServer) Stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
 	if s.listener != nil {
 		s.listener.Close()
 	}
+}
+
+// startSweeper periodically evicts TTL-expired LRU entries, driven by the
+// AP's clock (virtual under simulation, so sweeps are deterministic). It
+// exits when the AP stops or when Sleep stops consuming time.
+func (s *APServer) startSweeper() {
+	interval := s.SweepInterval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	s.env.Go("wicache.sweeper", func() {
+		for {
+			before := s.env.Now()
+			s.env.Sleep(interval)
+			s.mu.Lock()
+			stopped := s.stopped
+			s.mu.Unlock()
+			if stopped || s.env.Now().Sub(before) < interval {
+				return
+			}
+			s.store.SweepExpired()
+		}
+	})
+}
+
+// handlePurge applies a purge relayed by the controller: the Wi-Cache
+// baseline has no stale-while-revalidate, so the copy is simply evicted.
+func (s *APServer) handlePurge(req *httplite.Request) *httplite.Response {
+	msg, err := coherence.ParseMsg(req.Body)
+	if err != nil {
+		return httplite.NewResponse(400, []byte(err.Error()))
+	}
+	s.Purges++
+	s.store.Purge(msg.URL, msg.Version, msg.Gone, false)
+	return httplite.NewResponse(200, nil)
 }
 
 // Addr returns the AP's serving endpoint.

@@ -2,9 +2,12 @@ package wicache
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
+	"apecache/internal/coherence"
+	"apecache/internal/httplite"
 	"apecache/internal/objstore"
 	"apecache/internal/simnet"
 	"apecache/internal/transport"
@@ -18,6 +21,7 @@ type fixture struct {
 	controller *Controller
 	ap         *APServer
 	edge       *objstore.EdgeCacheServer
+	catalog    *objstore.Catalog
 	obj        *objstore.Object
 }
 
@@ -55,7 +59,7 @@ func newFixture(t *testing.T, sim *vclock.Sim, capacity int64, extra ...*objstor
 		t.Fatalf("ap: %v", err)
 	}
 	controller.RegisterAP("ap", ap.Addr(), ap.Addr())
-	return &fixture{sim: sim, net: net, controller: controller, ap: ap, edge: edge, obj: obj}
+	return &fixture{sim: sim, net: net, controller: controller, ap: ap, edge: edge, catalog: catalog, obj: obj}
 }
 
 func run(t *testing.T, capacity int64, fn func(fx *fixture)) {
@@ -127,6 +131,50 @@ func TestStaleControllerLocationFallsBackToEdge(t *testing.T) {
 		body, err := client.Get(fx.obj.URL)
 		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
 			t.Errorf("get with stale location: %v", err)
+			return
+		}
+
+		// Clear the fabrication and miss for real so the controller orders
+		// a fill and the location becomes genuine. A purge on the bus then
+		// evicts the AP copy and drops the location entry...
+		delete(fx.controller.locations, fx.obj.URL)
+		if _, err := client.Get(fx.obj.URL); err != nil {
+			t.Errorf("refill get: %v", err)
+			return
+		}
+		fx.sim.Sleep(2 * time.Second)
+		if fx.ap.Fills != 1 {
+			t.Errorf("fills = %d, want 1", fx.ap.Fills)
+			return
+		}
+		v0 := fx.obj.Body()
+		v, ok := fx.catalog.Mutate(fx.obj.URL)
+		if !ok {
+			t.Error("Mutate missed object")
+			return
+		}
+		fx.edge.Invalidate(fx.obj.URL) // what the hub's onPurge does
+		msg, _ := json.Marshal(coherence.Msg{URL: fx.obj.URL, Version: v})
+		preq := httplite.NewRequest("POST", "ec2", coherence.DefaultPurgePath)
+		preq.Body = msg
+		if resp, err := httplite.NewClient(fx.net.Node("client")).Do(fx.controller.Addr(), preq); err != nil || resp.Status != 200 {
+			t.Errorf("purge post: %v", err)
+			return
+		}
+		fx.sim.Sleep(time.Second)
+		if fx.ap.Purges != 1 {
+			t.Errorf("ap purges = %d, want 1", fx.ap.Purges)
+		}
+		if _, ok := fx.controller.locations[fx.obj.URL]; ok {
+			t.Error("location survived the purge")
+		}
+
+		// ...and even with the location fabricated stale again, the AP's
+		// 404 sends the client to the edge, which serves the new version.
+		fx.controller.locations[fx.obj.URL] = "ap"
+		body, err = client.Get(fx.obj.URL)
+		if err != nil || !bytes.Equal(body, fx.obj.Body()) || bytes.Equal(body, v0) {
+			t.Errorf("post-purge get stale or failed: %v (%d bytes)", err, len(body))
 		}
 	})
 }
