@@ -244,13 +244,15 @@ func (ap *AP) HandleDNS(from transport.Addr, query *dnswire.Message) *dnswire.Me
 
 	// Collect flags: every hash the client asked about, merged with every
 	// URL the AP knows under the domain (batching, §IV-B).
-	flags := make(map[uint64]dnswire.CacheFlag)
-	if requested, err := dnswire.ParseCacheRR(reqRR); err == nil {
+	requested, reqErr := dnswire.ParseCacheRR(reqRR)
+	known := ap.store.KnownHashesForDomain(domain)
+	flags := make(map[uint64]dnswire.CacheFlag, len(requested)+len(known))
+	if reqErr == nil {
 		for _, e := range requested {
 			flags[e.Hash] = ap.store.FlagByHash(e.Hash)
 		}
 	}
-	for _, e := range ap.store.KnownHashesForDomain(domain) {
+	for _, e := range known {
 		flags[e.Hash] = e.Flag
 	}
 	entries := make([]dnswire.CacheEntry, 0, len(flags))

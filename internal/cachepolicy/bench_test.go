@@ -1,0 +1,72 @@
+package cachepolicy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"apecache/internal/vclock"
+)
+
+// benchEntries builds n entries with varied sizes/priorities/TTLs across
+// 8 apps, the shape the admission path sees on a loaded AP.
+func benchEntries(n int, now time.Time) []*Entry {
+	entries := make([]*Entry, n)
+	for i := range n {
+		size := 1<<10 + (i%17)*512
+		entries[i] = entryFor(
+			fmt.Sprintf("http://app%d.example/obj/%d", i%8, i),
+			fmt.Sprintf("app%d", i%8),
+			size, 1+i%3,
+			time.Duration(10+i%50)*time.Minute,
+			time.Duration(5+i%40)*time.Millisecond,
+			now)
+		entries[i].Hits = i % 9
+	}
+	return entries
+}
+
+// BenchmarkSolveKeepSetDP256 exercises the exact DP at its dpMaxEntries
+// ceiling — the worst case the bitset reconstruction table has to absorb.
+func BenchmarkSolveKeepSetDP256(b *testing.B) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		now := sim.Now()
+		entries := benchEntries(dpMaxEntries, now)
+		var total int64
+		for _, e := range entries {
+			total += e.Size()
+		}
+		avail := total / 2
+		b.ResetTimer()
+		for range b.N {
+			if keep := solveKeepSetDP(entries, avail, now, f); len(keep) == 0 {
+				b.Fatal("empty keep-set")
+			}
+		}
+	})
+}
+
+// BenchmarkSelectVictims measures the heapified incremental admission path
+// on a full store (the per-Put cost that used to be a full sort).
+func BenchmarkSelectVictims(b *testing.B) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		f := NewFreqTracker(sim, 0.7, time.Minute)
+		now := sim.Now()
+		entries := benchEntries(1024, now)
+		var total int64
+		for _, e := range entries {
+			total += e.Size()
+		}
+		incoming := entryFor("http://app0.example/new", "app0", 8<<10, 2, 30*time.Minute, 20*time.Millisecond, now)
+		p := NewPACM()
+		b.ResetTimer()
+		for range b.N {
+			if v := p.SelectVictims(now, entries, incoming, total, f); len(v) == 0 {
+				b.Fatal("expected victims on a full store")
+			}
+		}
+	})
+}

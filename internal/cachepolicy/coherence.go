@@ -39,7 +39,7 @@ func (s *Store) Purge(url string, version int64, gone, keepStale bool) (resident
 		s.purged[url] = version
 	}
 	if gone {
-		s.negative[url] = s.clock.Now().Add(s.negativeTTL)
+		s.setNegative(url, s.clock.Now().Add(s.negativeTTL))
 	}
 	e, ok := s.entries[url]
 	if !ok || e.Version >= version {
@@ -49,6 +49,11 @@ func (s *Store) Purge(url string, version int64, gone, keepStale bool) (resident
 	}
 	s.stats.Purged++
 	if keepStale && !gone {
+		if !e.Stale {
+			// Stale entries no longer count toward the domain's
+			// Cache-Hit set (a repeat purge must not decrement twice).
+			s.domainHitDelta(url, -1)
+		}
 		e.Stale = true
 		e.StaleServed = false
 		return true, true
@@ -100,9 +105,14 @@ func (s *Store) Revalidated(url string, version int64) bool {
 		return false
 	}
 	e.Version = version
-	e.Stale = false
+	if e.Stale {
+		// Stale -> fresh: the URL counts toward the domain's hit set again.
+		e.Stale = false
+		s.domainHitDelta(url, +1)
+	}
 	e.StaleServed = false
 	e.Expiry = s.clock.Now().Add(e.Object.TTL)
+	s.pushExpiry(url, e.Expiry)
 	return true
 }
 
@@ -112,7 +122,7 @@ func (s *Store) MarkGone(url string) {
 	url = dnswire.BasicURL(url)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.negative[url] = s.clock.Now().Add(s.negativeTTL)
+	s.setNegative(url, s.clock.Now().Add(s.negativeTTL))
 	if _, ok := s.entries[url]; ok {
 		s.removeEntry(url)
 		s.stats.Purged++
@@ -122,8 +132,8 @@ func (s *Store) MarkGone(url string) {
 // NegativeCached reports whether url is inside its negative-cache window.
 func (s *Store) NegativeCached(url string) bool {
 	url = dnswire.BasicURL(url)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	until, ok := s.negative[url]
 	return ok && s.clock.Now().Before(until)
 }
@@ -131,8 +141,8 @@ func (s *Store) NegativeCached(url string) bool {
 // PurgedVersion returns the purge high-water mark for url, if any.
 func (s *Store) PurgedVersion(url string) (int64, bool) {
 	url = dnswire.BasicURL(url)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.purged[url]
 	return v, ok
 }

@@ -7,6 +7,7 @@ package cachepolicy
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apecache/internal/vclock"
@@ -36,12 +37,18 @@ const (
 
 // FreqTracker maintains the per-app request frequency EWMA R(a) of §IV-C.
 // Frequencies are expressed in requests per window (the paper's r_a(Δt)).
+//
+// Every client request routes through Record, so the tracker shares the
+// store's read-mostly discipline: as long as no window boundary has been
+// crossed, Record is a read-locked atomic increment and Rate a read-locked
+// map lookup, letting concurrent request handlers proceed without
+// serializing. Only the window roll (once per Δt) takes the write lock.
 type FreqTracker struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	clock    vclock.Clock
 	alpha    float64
 	window   time.Duration
-	counts   map[string]int
+	counts   map[string]*atomic.Int64
 	rates    map[string]float64
 	lastRoll time.Time
 }
@@ -58,31 +65,73 @@ func NewFreqTracker(clock vclock.Clock, alpha float64, window time.Duration) *Fr
 		clock:    clock,
 		alpha:    alpha,
 		window:   window,
-		counts:   make(map[string]int),
+		counts:   make(map[string]*atomic.Int64),
 		rates:    make(map[string]float64),
 		lastRoll: clock.Now(),
 	}
 }
 
-// Record registers one request for app a.
+// rollDue reports whether a window boundary has been crossed. Callers hold
+// at least the read lock (lastRoll moves only under the write lock).
+func (f *FreqTracker) rollDue(now time.Time) bool {
+	return now.Sub(f.lastRoll) >= f.window
+}
+
+// Record registers one request for app a. The common case — no window
+// boundary crossed, app already known — is an atomic increment under the
+// read lock.
 func (f *FreqTracker) Record(app string) {
+	now := f.clock.Now()
+	f.mu.RLock()
+	if !f.rollDue(now) {
+		if c, ok := f.counts[app]; ok {
+			c.Add(1)
+			f.mu.RUnlock()
+			return
+		}
+	}
+	f.mu.RUnlock()
+
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.maybeRoll()
-	f.counts[app]++
+	c, ok := f.counts[app]
+	if !ok {
+		c = new(atomic.Int64)
+		f.counts[app] = c
+	}
+	c.Add(1)
+	f.mu.Unlock()
 }
 
 // Rate returns R(a). Before the first window completes, the live count of
 // the current window is used as a bootstrap estimate so that fresh apps do
 // not appear to have zero demand.
 func (f *FreqTracker) Rate(app string) float64 {
+	now := f.clock.Now()
+	f.mu.RLock()
+	if !f.rollDue(now) {
+		r := f.rateLocked(app)
+		f.mu.RUnlock()
+		return r
+	}
+	f.mu.RUnlock()
+
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.maybeRoll()
+	return f.rateLocked(app)
+}
+
+// rateLocked reads R(a) assuming any due roll has been applied. Callers
+// hold at least the read lock.
+func (f *FreqTracker) rateLocked(app string) float64 {
 	if r, ok := f.rates[app]; ok && r > 0 {
 		return r
 	}
-	return float64(f.counts[app])
+	if c, ok := f.counts[app]; ok {
+		return float64(c.Load())
+	}
+	return 0
 }
 
 // Apps returns every app with a known rate or pending count.
@@ -107,9 +156,9 @@ func (f *FreqTracker) Apps() []string {
 	return apps
 }
 
-// maybeRoll folds completed windows (callers hold f.mu) into the EWMA: one update with the
-// window's count, then zero-count decay for any further fully elapsed
-// windows.
+// maybeRoll folds completed windows (callers hold the write lock) into the
+// EWMA: one update with the window's count, then zero-count decay for any
+// further fully elapsed windows.
 func (f *FreqTracker) maybeRoll() {
 	now := f.clock.Now()
 	elapsed := now.Sub(f.lastRoll)
@@ -122,7 +171,7 @@ func (f *FreqTracker) maybeRoll() {
 		f.rates[a] = (1 - f.alpha) * f.rates[a]
 	}
 	for a, c := range f.counts {
-		f.rates[a] += f.alpha * float64(c)
+		f.rates[a] += f.alpha * float64(c.Load())
 	}
 	clear(f.counts)
 	// Remaining completed windows saw zero requests.

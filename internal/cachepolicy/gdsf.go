@@ -15,12 +15,16 @@ import (
 // aging term set to the credit of the last eviction, so long-idle entries
 // eventually lose to fresh ones regardless of past popularity.
 type GDSF struct {
-	l       float64
-	credits map[*Entry]float64
+	l float64
+	// credits is keyed by URL, not *Entry: the store installs a fresh
+	// Entry on every refresh (so read-path holders keep stable payloads),
+	// and a pointer key would both miss the cached credit and leak one
+	// stale cell per refresh/expiry forever.
+	credits map[string]float64
 }
 
 // NewGDSF returns a fresh GDSF policy.
-func NewGDSF() *GDSF { return &GDSF{credits: make(map[*Entry]float64)} }
+func NewGDSF() *GDSF { return &GDSF{credits: make(map[string]float64)} }
 
 var _ Policy = (*GDSF)(nil)
 
@@ -29,7 +33,7 @@ func (*GDSF) Name() string { return "GDSF" }
 
 // credit computes (caching) an entry's H value.
 func (g *GDSF) credit(e *Entry) float64 {
-	if h, ok := g.credits[e]; ok && e.Hits == 0 {
+	if h, ok := g.credits[e.Object.URL]; ok && e.Hits == 0 {
 		return h
 	}
 	cost := float64(e.FetchLatency) / float64(time.Millisecond)
@@ -41,7 +45,7 @@ func (g *GDSF) credit(e *Entry) float64 {
 		size = 1
 	}
 	h := g.l + float64(e.Hits+1)*cost/size
-	g.credits[e] = h
+	g.credits[e.Object.URL] = h
 	return h
 }
 
@@ -70,10 +74,10 @@ func (g *GDSF) SelectVictims(_ time.Time, entries []*Entry, incoming *Entry, cap
 		}
 		victims = append(victims, e)
 		need -= e.Size()
-		if h := g.credits[e]; h > g.l {
+		if h := g.credits[e.Object.URL]; h > g.l {
 			g.l = h
 		}
-		delete(g.credits, e)
+		delete(g.credits, e.Object.URL)
 	}
 	return victims
 }

@@ -37,18 +37,20 @@ func solveKeepSetDP(entries []*Entry, avail int64, now time.Time, freq *FreqTrac
 		utils[i] = Utility(e, now, freq)
 	}
 
-	// best[w] = max utility using capacity w; choice tracks taken items.
+	// best[w] = max utility using capacity w; taken is a per-item bitset
+	// over capacity units (bit w of row i: item i is taken at width w) —
+	// 1 bit per cell instead of the 1 byte a [][]bool row costs, an ~8×
+	// cut in reconstruction-table memory at dpMaxEntries.
 	best := make([]float64, capUnits+1)
-	taken := make([][]bool, n)
-	for i := range taken {
-		taken[i] = make([]bool, capUnits+1)
-	}
+	words := (capUnits + 1 + 63) / 64
+	taken := make([]uint64, n*words)
 	for i := range n {
+		row := taken[i*words : (i+1)*words]
 		for w := capUnits; w >= sizes[i]; w-- {
 			cand := best[w-sizes[i]] + utils[i]
 			if cand > best[w] {
 				best[w] = cand
-				taken[i][w] = true
+				row[w>>6] |= 1 << (uint(w) & 63)
 			}
 		}
 	}
@@ -57,7 +59,7 @@ func solveKeepSetDP(entries []*Entry, avail int64, now time.Time, freq *FreqTrac
 	var keep []*Entry
 	w := capUnits
 	for i := n - 1; i >= 0; i-- {
-		if taken[i][w] {
+		if taken[i*words+(w>>6)]&(1<<(uint(w)&63)) != 0 {
 			keep = append(keep, entries[i])
 			w -= sizes[i]
 		}

@@ -1,8 +1,8 @@
 package cachepolicy
 
 import (
+	"container/heap"
 	"math"
-	"sort"
 	"time"
 )
 
@@ -26,6 +26,14 @@ import (
 // fairness bound is violated, restricts eviction to the apps that consume
 // storage least efficiently. The exact capacity-only DP in knapsack.go
 // verifies in tests that the greedy keep-set stays close to optimal.
+//
+// Selection is incremental in the victim count, not the resident count:
+// instead of fully sorting every resident entry per admission (O(n log n)
+// always), the densities are heapified (O(n)) and only the eviction
+// candidates — typically a handful — are popped (O(log n) each). Entries
+// left on the heap are provably all kept by the greedy fill (see
+// DESIGN.md for the equivalence argument), so the full sort is recovered
+// exactly without ever paying for it.
 type PACM struct {
 	// Theta is the fairness threshold θ (default 0.4).
 	Theta float64
@@ -45,11 +53,16 @@ func (p *PACM) Name() string { return "PACM" }
 // Utility computes U_d at the given instant. Frequencies are per-window
 // rates; e_d is measured in minutes, l_d in milliseconds.
 func Utility(e *Entry, now time.Time, freq *FreqTracker) float64 {
+	return utilityAtRate(e, now, freq.Rate(e.Object.App))
+}
+
+// utilityAtRate is Utility with the app rate already resolved, letting one
+// selection pass share a single Rate lookup per app.
+func utilityAtRate(e *Entry, now time.Time, rate float64) float64 {
 	remaining := e.Expiry.Sub(now).Minutes()
 	if remaining <= 0 {
 		return 0
 	}
-	rate := freq.Rate(e.Object.App)
 	if rate < MinRate {
 		rate = MinRate // floor: ordering stays total, idle apps stay comparable
 	}
@@ -58,6 +71,31 @@ func Utility(e *Entry, now time.Time, freq *FreqTracker) float64 {
 		latencyMS = 1
 	}
 	return rate * remaining * latencyMS * float64(e.Object.Priority)
+}
+
+// rateCache memoizes FreqTracker.Rate within one selection pass: at a
+// fixed virtual instant every lookup for the same app returns the same
+// value, so the per-entry lock acquisition in the old code was pure waste.
+type rateCache struct {
+	freq  *FreqTracker
+	rates map[string]float64
+}
+
+func newRateCache(freq *FreqTracker) *rateCache {
+	return &rateCache{freq: freq, rates: make(map[string]float64, 8)}
+}
+
+func (rc *rateCache) rate(app string) float64 {
+	if r, ok := rc.rates[app]; ok {
+		return r
+	}
+	r := rc.freq.Rate(app)
+	rc.rates[app] = r
+	return r
+}
+
+func (rc *rateCache) utility(e *Entry, now time.Time) float64 {
+	return utilityAtRate(e, now, rc.rate(e.Object.App))
 }
 
 // SelectVictims implements Policy.
@@ -78,7 +116,7 @@ func (p *PACM) SelectVictims(now time.Time, entries []*Entry, incoming *Entry, c
 	for _, e := range keep {
 		kept[e] = struct{}{}
 	}
-	var victims []*Entry
+	victims := make([]*Entry, 0, len(entries)-len(keep))
 	for _, e := range entries {
 		if _, ok := kept[e]; !ok {
 			victims = append(victims, e)
@@ -87,29 +125,77 @@ func (p *PACM) SelectVictims(now time.Time, entries []*Entry, incoming *Entry, c
 	return victims
 }
 
-// greedyKeepSet keeps entries in descending utility-density order until
-// the capacity budget is exhausted.
-func (p *PACM) greedyKeepSet(entries []*Entry, avail int64, now time.Time, freq *FreqTracker) []*Entry {
-	type scored struct {
-		e       *Entry
-		density float64
+// scored pairs an entry with its utility density for heap ordering.
+type scored struct {
+	e       *Entry
+	density float64
+}
+
+// densityHeap is a min-heap over utility density with deterministic
+// tie-breaks (insertion sequence, then URL), so selection no longer
+// depends on map iteration order.
+type densityHeap []scored
+
+func (h densityHeap) Len() int { return len(h) }
+func (h densityHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.density != b.density {
+		return a.density < b.density
 	}
-	ranked := make([]scored, 0, len(entries))
+	if a.e.seq != b.e.seq {
+		return a.e.seq > b.e.seq // later insertions evict first on ties
+	}
+	return a.e.Object.URL > b.e.Object.URL
+}
+func (h densityHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *densityHeap) Push(x any)   { *h = append(*h, x.(scored)) }
+func (h *densityHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// greedyKeepSet keeps entries in descending utility-density order until
+// the capacity budget is exhausted — without sorting. The densities are
+// heapified (O(n)); the lowest-density entries are popped (O(log n) each)
+// only until the remaining mass fits in avail. Everything still on the
+// heap is kept outright: in the density-descending greedy fill those
+// entries form a prefix whose running sum never exceeds the remaining
+// mass, which fits. The popped tail is then replayed in descending order
+// (reverse pop order) through the same fits-else-skip rule, reproducing
+// the sorted greedy's keep-set exactly.
+func (p *PACM) greedyKeepSet(entries []*Entry, avail int64, now time.Time, freq *FreqTracker) []*Entry {
+	rc := newRateCache(freq)
+	h := make(densityHeap, 0, len(entries))
+	var total int64
 	for _, e := range entries {
-		u := Utility(e, now, freq)
+		u := rc.utility(e, now)
 		size := e.Size()
 		if size <= 0 {
 			size = 1
 		}
-		ranked = append(ranked, scored{e: e, density: u / float64(size)})
+		h = append(h, scored{e: e, density: u / float64(size)})
+		total += e.Size()
 	}
-	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].density > ranked[j].density })
-	var keep []*Entry
-	var used int64
-	for _, s := range ranked {
-		if used+s.e.Size() <= avail {
-			keep = append(keep, s.e)
-			used += s.e.Size()
+	heap.Init(&h)
+	var tail []scored // ascending density: tail[0] is the worst entry
+	for total > avail && h.Len() > 0 {
+		it := heap.Pop(&h).(scored)
+		tail = append(tail, it)
+		total -= it.e.Size()
+	}
+	keep := make([]*Entry, 0, len(h)+len(tail))
+	for _, it := range h {
+		keep = append(keep, it.e)
+	}
+	used := total
+	for i := len(tail) - 1; i >= 0; i-- { // descending density
+		e := tail[i].e
+		if used+e.Size() <= avail {
+			keep = append(keep, e)
+			used += e.Size()
 		}
 	}
 	return keep
@@ -123,14 +209,15 @@ func (p *PACM) enforceFairness(keep []*Entry, incoming *Entry, now time.Time, fr
 	if theta <= 0 {
 		theta = DefaultFairnessThreshold
 	}
+	rc := newRateCache(freq)
 	for len(keep) > 0 {
-		eff := storageEfficiency(keep, incoming, freq)
+		eff := storageEfficiency(keep, incoming, rc)
 		if len(eff) < 2 || Gini(eff) <= theta {
 			return keep
 		}
 		// Identify the app with the worst (largest) storage efficiency
 		// that still has evictable entries, and drop its lowest-utility
-		// entry.
+		// entry (deterministic tie-break: insertion sequence, then URL).
 		victimIdx := -1
 		var victimUtil float64
 		worstApp := worstEfficiencyApp(eff, keep)
@@ -138,8 +225,9 @@ func (p *PACM) enforceFairness(keep []*Entry, incoming *Entry, now time.Time, fr
 			if e.Object.App != worstApp {
 				continue
 			}
-			u := Utility(e, now, freq)
-			if victimIdx < 0 || u < victimUtil {
+			u := rc.utility(e, now)
+			if victimIdx < 0 || u < victimUtil ||
+				(u == victimUtil && entryBefore(e, keep[victimIdx])) {
 				victimIdx = i
 				victimUtil = u
 			}
@@ -152,9 +240,18 @@ func (p *PACM) enforceFairness(keep []*Entry, incoming *Entry, now time.Time, fr
 	return keep
 }
 
+// entryBefore is the deterministic preference order for equal-utility
+// fairness victims: earlier insertion wins, then lexicographic URL.
+func entryBefore(a, b *Entry) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.Object.URL < b.Object.URL
+}
+
 // storageEfficiency computes C_a = bytes(a) / R(a) for every app present
 // in the keep-set plus the incoming object.
-func storageEfficiency(keep []*Entry, incoming *Entry, freq *FreqTracker) map[string]float64 {
+func storageEfficiency(keep []*Entry, incoming *Entry, rc *rateCache) map[string]float64 {
 	bytes := make(map[string]int64)
 	for _, e := range keep {
 		bytes[e.Object.App] += e.Size()
@@ -164,7 +261,7 @@ func storageEfficiency(keep []*Entry, incoming *Entry, freq *FreqTracker) map[st
 	}
 	eff := make(map[string]float64, len(bytes))
 	for app, b := range bytes {
-		r := freq.Rate(app)
+		r := rc.rate(app)
 		if r < MinRate {
 			r = MinRate
 		}
@@ -174,7 +271,8 @@ func storageEfficiency(keep []*Entry, incoming *Entry, freq *FreqTracker) map[st
 }
 
 // worstEfficiencyApp returns the app with the largest C_a among apps that
-// own at least one keep-set entry.
+// own at least one keep-set entry (ties broken lexicographically so the
+// repair loop is deterministic).
 func worstEfficiencyApp(eff map[string]float64, keep []*Entry) string {
 	present := make(map[string]bool, len(keep))
 	for _, e := range keep {
@@ -182,7 +280,10 @@ func worstEfficiencyApp(eff map[string]float64, keep []*Entry) string {
 	}
 	worst, worstVal := "", math.Inf(-1)
 	for app, v := range eff {
-		if present[app] && v > worstVal {
+		if !present[app] {
+			continue
+		}
+		if v > worstVal || (v == worstVal && app < worst) {
 			worst, worstVal = app, v
 		}
 	}

@@ -139,7 +139,7 @@ func TestPACMFairnessRestrainsHoardingApp(t *testing.T) {
 		}
 		// And the surviving set must satisfy the bound.
 		kept := keepAfter(entries, victims)
-		eff := storageEfficiency(kept, incoming, f)
+		eff := storageEfficiency(kept, incoming, newRateCache(f))
 		if g := Gini(eff); g > p.Theta+1e-9 {
 			t.Errorf("post-eviction Gini = %f > θ=%f", g, p.Theta)
 		}

@@ -3,7 +3,9 @@ package cachepolicy
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apecache/internal/dnswire"
@@ -21,6 +23,14 @@ var ErrBlocked = errors.New("cachepolicy: object block-listed")
 
 // Entry is one object resident in the AP cache, with the bookkeeping PACM
 // needs (e_d via Expiry, l_d via FetchLatency) and LRU needs (LastUsed).
+//
+// Entries are immutable snapshots once published: a refresh installs a new
+// Entry rather than rewriting Data in place, so a handler that obtained an
+// entry under the read lock can keep serving its payload after releasing
+// it. Recency (LastUsed/Hits) is the one exception — Get records it in
+// atomic shadows so lookups stay on the read path, and the store folds the
+// shadows into the exported fields (syncRecency) before any policy code
+// reads them under the write lock.
 type Entry struct {
 	Object *objstore.Object
 	Data   []byte
@@ -43,6 +53,15 @@ type Entry struct {
 	Stale bool
 	// StaleServed records that the one allowed stale serve has happened.
 	StaleServed bool
+
+	// seq is the store's insertion sequence, used as a deterministic
+	// tie-break wherever entries compare equal (densities, fallback
+	// eviction order). Zero for entries built outside a store.
+	seq uint64
+	// lastUsed/hits are the atomic recency shadows written by Get under
+	// the read lock; syncRecency folds them into LastUsed/Hits.
+	lastUsed atomic.Pointer[time.Time]
+	hits     atomic.Int64
 }
 
 // Size returns the entry's payload size in bytes.
@@ -50,6 +69,28 @@ func (e *Entry) Size() int64 { return int64(len(e.Data)) }
 
 // Fresh reports whether the entry is still within TTL at the given time.
 func (e *Entry) Fresh(now time.Time) bool { return now.Before(e.Expiry) }
+
+// touch records a lookup at now without requiring the write lock (or a
+// second map lookup): the caller already holds the entry.
+func (e *Entry) touch(now time.Time) {
+	t := now
+	e.lastUsed.Store(&t)
+	e.hits.Add(1)
+}
+
+// syncRecency folds the atomic recency shadows into the exported fields.
+// Callers hold the store's write lock, so no Get can run concurrently.
+func (e *Entry) syncRecency() {
+	if n := e.hits.Swap(0); n != 0 {
+		e.Hits += int(n)
+	}
+	if p := e.lastUsed.Load(); p != nil && p.After(e.LastUsed) {
+		e.LastUsed = *p
+	}
+}
+
+// Seq returns the store insertion sequence (0 outside a store).
+func (e *Entry) Seq() uint64 { return e.seq }
 
 // Policy selects eviction victims when the cache must make room.
 type Policy interface {
@@ -80,11 +121,16 @@ type StoreStats struct {
 
 // Store is the AP cache: a capacity-bounded object store with TTL expiry,
 // a block list for oversized objects, and a pluggable eviction policy.
-// It is safe for concurrent use: the real-socket AP serves DNS and HTTP
-// handlers on separate goroutines (under the simulation's single-floor
-// scheduler the mutex is uncontended).
+//
+// The hot lookup path — Flag, FlagByHash, KnownHashesForDomain,
+// DomainFullyCached, Get — runs under a read lock so concurrent DNS and
+// HTTP handlers never serialize against each other; only mutations (Put,
+// eviction, the sweeper, coherence purges) take the write side. Domain
+// queries are answered from an incrementally-maintained per-domain index
+// instead of scanning every hash the AP has ever seen, and TTL expiry is
+// tracked in a min-heap so admissions no longer scan all entries.
 type Store struct {
-	mu            sync.Mutex
+	mu            sync.RWMutex
 	clock         vclock.Clock
 	capacity      int64
 	maxObjectSize int64
@@ -104,6 +150,13 @@ type Store struct {
 	// delegation answers 410 without contacting the edge.
 	negative    map[string]time.Time
 	negativeTTL time.Duration
+	// seq numbers insertions for deterministic tie-breaks.
+	seq uint64
+	// expiries is the store-wide lazy min-heap over resident entries'
+	// expiries (stale entries included — they expire too).
+	expiries expiryHeap
+	// domains is the per-domain lookup index (see index.go).
+	domains map[string]*domainIndex
 }
 
 // NewStore builds a cache with the given capacity and policy. A zero
@@ -127,6 +180,7 @@ func NewStore(clock vclock.Clock, capacity int64, maxObjectSize int64, policy Po
 		purged:        make(map[string]int64),
 		negative:      make(map[string]time.Time),
 		negativeTTL:   DefaultNegativeTTL,
+		domains:       make(map[string]*domainIndex),
 	}
 }
 
@@ -140,15 +194,15 @@ func (s *Store) Policy() Policy { return s.policy }
 
 // Stats returns a copy of the management counters.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.stats
 }
 
 // Used returns the bytes currently stored.
 func (s *Store) Used() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.used
 }
 
@@ -157,16 +211,16 @@ func (s *Store) Capacity() int64 { return s.capacity }
 
 // Len returns the number of resident entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.entries)
 }
 
 // Flag returns the DNS-Cache status for a basic URL, implementing the
 // three-way classification of §IV-B.
 func (s *Store) Flag(url string) dnswire.CacheFlag {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.flagLocked(url)
 }
 
@@ -197,8 +251,8 @@ func (s *Store) flagLocked(url string) dnswire.CacheFlag {
 // hashes are Delegation (the AP has never seen the URL; it will learn it
 // when the client delegates).
 func (s *Store) FlagByHash(h uint64) dnswire.CacheFlag {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if url, ok := s.byHash[h]; ok {
 		return s.flagLocked(url)
 	}
@@ -208,46 +262,69 @@ func (s *Store) FlagByHash(h uint64) dnswire.CacheFlag {
 // KnownHashesForDomain returns the ⟨hash, flag⟩ entries for every URL the
 // store has ever seen under the domain — the batching behaviour of §IV-B
 // ("respond with the cache status for all URLs under the same domain").
+// Cost is proportional to the domain's entry count, not the total number
+// of hashes the AP has ever seen.
 func (s *Store) KnownHashesForDomain(domain string) []dnswire.CacheEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.knownHashesLocked(domain)
-}
-
-func (s *Store) knownHashesLocked(domain string) []dnswire.CacheEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	domain = dnswire.CanonicalName(domain)
-	var out []dnswire.CacheEntry
-	for h, url := range s.byHash {
-		if dnswire.URLDomain(url) == domain {
-			out = append(out, dnswire.CacheEntry{Hash: h, Flag: s.flagLocked(url)})
-		}
+	di := s.domains[domain]
+	if di == nil || len(di.known) == 0 {
+		return nil
+	}
+	out := make([]dnswire.CacheEntry, 0, len(di.known))
+	for h, url := range di.known {
+		out = append(out, dnswire.CacheEntry{Hash: h, Flag: s.flagLocked(url)})
 	}
 	return out
 }
 
 // DomainFullyCached reports whether every URL known under the domain is a
 // fresh cache hit (the dummy-IP short-circuit condition) — and at least
-// one is known.
+// one is known. Answered in O(1) amortized from the per-domain index: the
+// hit counter must cover every known hash, no known URL may sit in an
+// active negative window, and the domain's earliest resident expiry (the
+// lazily-repaired heap top) must still be in the future.
 func (s *Store) DomainFullyCached(domain string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	entries := s.knownHashesLocked(domain)
-	if len(entries) == 0 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	domain = dnswire.CanonicalName(domain)
+	di := s.domains[domain]
+	if di == nil || len(di.known) == 0 {
 		return false
 	}
-	for _, e := range entries {
-		if e.Flag != dnswire.FlagCacheHit {
-			return false
-		}
+	if di.hits != len(di.known) {
+		return false // some URL is evicted, blocked, or stale
 	}
-	return true
+	now := s.clock.Now()
+	di.repair.Lock()
+	defer di.repair.Unlock()
+	for url := range di.negative {
+		until, ok := s.negative[url]
+		if ok && now.Before(until) {
+			return false // resident copy shadowed by a negative window
+		}
+		delete(di.negative, url) // window lapsed (or cleared): forget it
+	}
+	for di.expiries.Len() > 0 {
+		top := di.expiries[0]
+		e, ok := s.entries[top.url]
+		if !ok || e.Stale || !e.Expiry.Equal(top.expiry) {
+			popExpiry(&di.expiries) // superseded item
+			continue
+		}
+		return now.Before(top.expiry) // earliest live expiry decides
+	}
+	return false // hits > 0 but no live heap item: be conservative
 }
 
-// Get returns the entry for url if fresh and not purged, updating
-// recency. Purged entries are only reachable through GetStale.
+// Get returns the entry for url if fresh and not purged, updating recency
+// without leaving the read path (the update rides on the entry already in
+// hand — no write lock, no second lookup). Purged entries are only
+// reachable through GetStale.
 func (s *Store) Get(url string) (*Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e, ok := s.entries[url]
 	if !ok {
 		return nil, false
@@ -256,8 +333,7 @@ func (s *Store) Get(url string) (*Entry, bool) {
 	if !e.Fresh(now) || e.Stale {
 		return nil, false
 	}
-	e.LastUsed = now
-	e.Hits++
+	e.touch(now)
 	return e, true
 }
 
@@ -274,7 +350,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 	size := int64(len(data))
 	if size > s.maxObjectSize || size > s.capacity {
 		s.blocklist[obj.URL] = struct{}{}
-		s.byHash[obj.Hash()] = obj.URL
+		s.indexKnown(obj.Hash(), obj.URL)
 		s.stats.Blocked++
 		return fmt.Errorf("%w: %s (%d bytes)", ErrBlocked, obj.URL, size)
 	}
@@ -287,23 +363,37 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 	}
 	// A current-or-newer payload supersedes any negative-cache window (the
 	// object was re-created at the origin).
-	delete(s.negative, obj.URL)
+	s.clearNegative(obj.URL)
 
 	if old, ok := s.entries[obj.URL]; ok {
-		// Refresh in place.
+		// Refresh: install a new entry rather than rewriting the old one,
+		// so handlers still holding the previous snapshot keep a stable
+		// payload. Bookkeeping (Inserted, Hits, seq) carries over.
+		old.syncRecency()
+		fresh := &Entry{
+			Object:       obj,
+			Data:         data,
+			Expiry:       now.Add(obj.TTL),
+			FetchLatency: fetchLatency,
+			LastUsed:     now,
+			Inserted:     old.Inserted,
+			Hits:         old.Hits,
+			Version:      obj.Version,
+			seq:          old.seq,
+		}
 		s.used += size - old.Size()
-		old.Data = data
-		old.Expiry = now.Add(obj.TTL)
-		old.FetchLatency = fetchLatency
-		old.LastUsed = now
-		old.Version = obj.Version
-		old.Stale = false
-		old.StaleServed = false
+		s.entries[obj.URL] = fresh
+		s.pushExpiry(obj.URL, fresh.Expiry)
+		if old.Stale {
+			// Stale → fresh transition: the URL is a Cache-Hit again.
+			s.domainHitDelta(obj.URL, +1)
+		}
 		s.stats.Updates++
 		s.makeRoom(nil) // in case the refresh grew the entry
 		return nil
 	}
 
+	s.seq++
 	entry := &Entry{
 		Object:       obj,
 		Data:         data,
@@ -312,25 +402,97 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		LastUsed:     now,
 		Inserted:     now,
 		Version:      obj.Version,
+		seq:          s.seq,
 	}
 	s.makeRoom(entry)
 	s.entries[obj.URL] = entry
-	s.byHash[obj.Hash()] = obj.URL
+	s.indexKnown(obj.Hash(), obj.URL)
+	s.pushExpiry(obj.URL, entry.Expiry)
+	s.domainHitDelta(obj.URL, +1)
 	s.used += size
 	s.stats.Insertions++
 	return nil
+}
+
+// indexKnown records a hash→URL sighting in both the global map and the
+// per-domain index. Callers hold the write lock.
+func (s *Store) indexKnown(hash uint64, url string) {
+	s.byHash[hash] = url
+	di := s.domainFor(dnswire.URLDomain(url), true)
+	di.known[hash] = url
+}
+
+// pushExpiry records an entry's (new) expiry in the global heap and its
+// domain's heap. Callers hold the write lock.
+func (s *Store) pushExpiry(url string, expiry time.Time) {
+	s.expiries.push(url, expiry)
+	di := s.domainFor(dnswire.URLDomain(url), true)
+	di.repair.Lock()
+	di.expiries.push(url, expiry)
+	di.repair.Unlock()
+}
+
+// domainHitDelta adjusts the domain's Cache-Hit candidate counter when a
+// URL's entry becomes (or stops being) resident-and-non-stale.
+func (s *Store) domainHitDelta(url string, delta int) {
+	if di := s.domainFor(dnswire.URLDomain(url), true); di != nil {
+		di.hits += delta
+	}
+}
+
+// setNegative opens a negative-cache window for url, mirroring it into the
+// domain index when the URL is known there. Callers hold the write lock.
+func (s *Store) setNegative(url string, until time.Time) {
+	s.negative[url] = until
+	domain := dnswire.URLDomain(url)
+	if di := s.domains[domain]; di != nil {
+		if _, known := di.known[dnswire.HashURL(url)]; known {
+			di.repair.Lock()
+			di.negative[url] = struct{}{}
+			di.repair.Unlock()
+		}
+	}
+}
+
+// clearNegative closes url's negative window in the store and the index.
+func (s *Store) clearNegative(url string) {
+	delete(s.negative, url)
+	if di := s.domains[dnswire.URLDomain(url)]; di != nil {
+		di.repair.Lock()
+		delete(di.negative, url)
+		di.repair.Unlock()
+	}
+}
+
+// dropExpiredLocked removes every TTL-expired resident entry, driven by
+// the expiry min-heap: cost is O(log n) per actually-expired entry instead
+// of a scan over all residents on every admission. Superseded heap items
+// (refreshed or already-removed entries) are discarded as they surface.
+func (s *Store) dropExpiredLocked(now time.Time) int {
+	dropped := 0
+	for s.expiries.Len() > 0 {
+		top := s.expiries[0]
+		e, ok := s.entries[top.url]
+		if !ok || !e.Expiry.Equal(top.expiry) {
+			popExpiry(&s.expiries)
+			continue
+		}
+		if e.Fresh(now) {
+			break // earliest live expiry is in the future: nothing expired
+		}
+		popExpiry(&s.expiries)
+		s.removeEntry(top.url)
+		s.stats.Expired++
+		dropped++
+	}
+	return dropped
 }
 
 // makeRoom evicts expired entries, then asks the policy for victims until
 // incoming fits. incoming may be nil (capacity repair after a refresh).
 func (s *Store) makeRoom(incoming *Entry) {
 	now := s.clock.Now()
-	for url, e := range s.entries {
-		if !e.Fresh(now) {
-			s.removeEntry(url)
-			s.stats.Expired++
-		}
-	}
+	s.dropExpiredLocked(now)
 	var need int64 = s.used - s.capacity
 	if incoming != nil {
 		need = s.used + incoming.Size() - s.capacity
@@ -338,7 +500,11 @@ func (s *Store) makeRoom(incoming *Entry) {
 	if need <= 0 {
 		return
 	}
-	victims := s.policy.SelectVictims(now, s.entriesSlice(), incoming, s.capacity, s.freq)
+	entries := s.entriesSlice()
+	for _, e := range entries {
+		e.syncRecency() // policies read LastUsed/Hits
+	}
+	victims := s.policy.SelectVictims(now, entries, incoming, s.capacity, s.freq)
 	for _, v := range victims {
 		if _, ok := s.entries[v.Object.URL]; !ok {
 			continue
@@ -348,14 +514,26 @@ func (s *Store) makeRoom(incoming *Entry) {
 		need -= v.Size()
 	}
 	// The policy is trusted but verified: if it under-evicted, fall back
-	// to dropping the oldest entries so the capacity invariant holds.
+	// to dropping the least-recently-used entries (deterministic order) so
+	// the capacity invariant holds.
 	if need > 0 {
-		for url, e := range s.entries {
+		rest := s.entriesSlice()
+		sort.Slice(rest, func(i, j int) bool {
+			a, b := rest[i], rest[j]
+			if !a.LastUsed.Equal(b.LastUsed) {
+				return a.LastUsed.Before(b.LastUsed)
+			}
+			if a.seq != b.seq {
+				return a.seq < b.seq
+			}
+			return a.Object.URL < b.Object.URL
+		})
+		for _, e := range rest {
 			if need <= 0 {
 				break
 			}
 			need -= e.Size()
-			s.removeEntry(url)
+			s.removeEntry(e.Object.URL)
 			s.stats.Evictions++
 		}
 	}
@@ -363,6 +541,8 @@ func (s *Store) makeRoom(incoming *Entry) {
 
 // removeEntry drops a resident entry but keeps its hash known (the AP has
 // "seen" the URL; a later DNS-Cache query gets Delegation, not silence).
+// Heap items referencing the entry are invalidated implicitly and cleaned
+// lazily. Callers hold the write lock.
 func (s *Store) removeEntry(url string) {
 	e, ok := s.entries[url]
 	if !ok {
@@ -370,6 +550,9 @@ func (s *Store) removeEntry(url string) {
 	}
 	s.used -= e.Size()
 	delete(s.entries, url)
+	if !e.Stale {
+		s.domainHitDelta(url, -1)
+	}
 }
 
 // entriesSlice snapshots the resident entries.
@@ -381,11 +564,16 @@ func (s *Store) entriesSlice() []*Entry {
 	return out
 }
 
-// Entries exposes a snapshot for tests and the experiment harness.
+// Entries exposes a snapshot for tests and the experiment harness, with
+// recency shadows folded in (hence the write lock).
 func (s *Store) Entries() []*Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.entriesSlice()
+	out := s.entriesSlice()
+	for _, e := range out {
+		e.syncRecency()
+	}
+	return out
 }
 
 // SweepExpired evicts every TTL-expired entry, returning how many were
@@ -395,17 +583,10 @@ func (s *Store) SweepExpired() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock.Now()
-	dropped := 0
-	for url, e := range s.entries {
-		if !e.Fresh(now) {
-			s.removeEntry(url)
-			s.stats.Expired++
-			dropped++
-		}
-	}
+	dropped := s.dropExpiredLocked(now)
 	for url, until := range s.negative {
 		if !now.Before(until) {
-			delete(s.negative, url)
+			s.clearNegative(url)
 		}
 	}
 	return dropped
@@ -413,8 +594,8 @@ func (s *Store) SweepExpired() int {
 
 // Blocked reports whether a URL is on the block list.
 func (s *Store) Blocked(url string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.blocklist[url]
 	return ok
 }

@@ -9,12 +9,22 @@ package dnsd
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"apecache/internal/dnswire"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
+
+// wireBufs recycles response encode buffers across queries. Both
+// transports copy the payload before returning (simnet into the delivery
+// queue, realnet into the socket), so a buffer can be reused as soon as
+// the write call returns.
+var wireBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // Handler answers one DNS query; from identifies the client (the CDN
 // redirector uses it to pick the nearest edge).
@@ -52,16 +62,19 @@ func Serve(env vclock.Env, pc transport.PacketConn, h Handler) {
 				resp = query.Reply()
 				resp.Header.RCode = dnswire.RCodeServerFailure
 			}
-			wire, err := resp.Encode()
+			bp := wireBufs.Get().(*[]byte)
+			defer func() { wireBufs.Put(bp) }()
+			wire, err := resp.AppendEncode((*bp)[:0])
 			if err != nil {
 				return
 			}
 			if len(wire) > query.UDPSize() {
-				wire, err = resp.Truncated().Encode()
+				wire, err = resp.Truncated().AppendEncode(wire[:0])
 				if err != nil {
 					return
 				}
 			}
+			*bp = wire // keep any growth for the next query
 			_ = pc.WriteTo(wire, pkt.From)
 		})
 	}
@@ -92,11 +105,23 @@ func ServeTCP(env vclock.Env, l transport.Listener, h Handler) {
 					resp = query.Reply()
 					resp.Header.RCode = dnswire.RCodeServerFailure
 				}
-				wire, err := resp.Encode()
-				if err != nil {
-					return
+				// Build the RFC 1035 §4.2.2 frame in place: reserve the
+				// 2-byte length prefix, encode directly behind it.
+				bp := wireBufs.Get().(*[]byte)
+				frame := append((*bp)[:0], 0, 0)
+				frame, err = resp.AppendEncode(frame)
+				if err == nil {
+					n := len(frame) - 2
+					if n > 0xFFFF {
+						err = fmt.Errorf("dnsd: frame %d bytes exceeds TCP framing", n)
+					} else {
+						frame[0], frame[1] = byte(n>>8), byte(n)
+						_, err = conn.Write(frame)
+					}
 				}
-				if err := writeTCPFrame(conn, wire); err != nil {
+				*bp = frame
+				wireBufs.Put(bp)
+				if err != nil {
 					return
 				}
 			}

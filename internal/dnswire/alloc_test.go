@@ -1,0 +1,112 @@
+package dnswire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// cacheResponse builds a representative DNS-Cache response: an A answer
+// plus a piggybacked DNS-Cache RR batching flags for n URLs of a domain —
+// the message the AP encodes on every piggybacked lookup.
+func cacheResponse(n int) *Message {
+	entries := make([]CacheEntry, n)
+	for i := range entries {
+		entries[i] = CacheEntry{
+			Hash: HashURL(fmt.Sprintf("http://api.movie.example/clip/%d", i)),
+			Flag: CacheFlag(i % 4),
+		}
+	}
+	q := NewQuery(0x1234, "api.movie.example", TypeA)
+	resp := q.Reply()
+	resp.Answers = append(resp.Answers, NewA("api.movie.example", 60, IPv4{10, 0, 0, 7}))
+	resp.Additional = append(resp.Additional, NewCacheRR("api.movie.example", ClassCacheResponse, entries))
+	return resp
+}
+
+// TestAppendEncodeReusedBufferAllocs pins the pooled encode path: once the
+// destination buffer has grown to size, re-encoding into it must not
+// allocate at all (the offsets map comes from the pool, the bytes from the
+// caller).
+func TestAppendEncodeReusedBufferAllocs(t *testing.T) {
+	msg := cacheResponse(32)
+	buf := make([]byte, 0, 4<<10)
+	// Warm the encoder pool outside the measured runs.
+	if _, err := msg.AppendEncode(buf); err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := msg.AppendEncode(buf[:0])
+		if err != nil {
+			t.Fatalf("AppendEncode: %v", err)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty encode")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("AppendEncode into a sized buffer allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestAppendEncodeMatchesEncode pins that the pooled/offset-rebased path
+// produces byte-identical wire output, including behind a prefix.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	msg := cacheResponse(16)
+	plain, err := msg.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	prefixed, err := msg.AppendEncode([]byte{0xAA, 0xBB})
+	if err != nil {
+		t.Fatalf("AppendEncode: %v", err)
+	}
+	if string(prefixed[:2]) != "\xaa\xbb" {
+		t.Fatal("prefix clobbered")
+	}
+	if string(prefixed[2:]) != string(plain) {
+		t.Error("AppendEncode behind a prefix differs from Encode")
+	}
+	back, err := Decode(prefixed[2:])
+	if err != nil {
+		t.Fatalf("Decode of prefixed encode: %v", err)
+	}
+	if got := len(back.Additional); got != len(msg.Additional) {
+		t.Errorf("round-trip additional count = %d, want %d", got, len(msg.Additional))
+	}
+}
+
+func BenchmarkEncodeCacheResponse(b *testing.B) {
+	msg := cacheResponse(32)
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := msg.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendEncodeCacheResponse(b *testing.B) {
+	msg := cacheResponse(32)
+	buf := make([]byte, 0, 4<<10)
+	b.ReportAllocs()
+	for b.Loop() {
+		out, err := msg.AppendEncode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+func BenchmarkDecodeCacheResponse(b *testing.B) {
+	wire, err := cacheResponse(32).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

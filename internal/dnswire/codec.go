@@ -4,17 +4,45 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // maxMessageSize bounds encoded messages; our transports carry up to
 // 64 KiB datagrams, so no truncation logic beyond the TC flag is needed.
 const maxMessageSize = 64 << 10
 
+// encoders pools the compression-offset maps (and encoder shells) across
+// messages: every response the AP sends would otherwise allocate a fresh
+// map just to throw it away microseconds later.
+var encoders = sync.Pool{New: func() any {
+	return &encoder{offsets: make(map[string]int, 8)}
+}}
+
 // Encode serializes the message with RFC 1035 name compression applied to
 // owner names.
 func (m *Message) Encode() ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[string]int)}
+	return m.AppendEncode(make([]byte, 0, 512))
+}
 
+// AppendEncode serializes the message onto dst (which may carry a prefix,
+// e.g. a TCP length frame, or be a recycled buffer) and returns the
+// extended slice. Compression offsets are taken relative to the message
+// start, so the prefix does not disturb pointer targets.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	e := encoders.Get().(*encoder)
+	e.buf = dst
+	e.base = len(dst)
+	out, err := e.encode(m)
+	e.buf = nil // do not pin the caller's buffer from the pool
+	clear(e.offsets)
+	encoders.Put(e)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+func (e *encoder) encode(m *Message) ([]byte, error) {
 	flags := uint16(0)
 	if m.Header.Response {
 		flags |= 1 << 15
@@ -55,7 +83,7 @@ func (m *Message) Encode() ([]byte, error) {
 			}
 		}
 	}
-	if len(e.buf) > maxMessageSize {
+	if len(e.buf)-e.base > maxMessageSize {
 		return nil, ErrTooLarge
 	}
 	return e.buf, nil
@@ -63,7 +91,8 @@ func (m *Message) Encode() ([]byte, error) {
 
 type encoder struct {
 	buf     []byte
-	offsets map[string]int // fully-qualified suffix -> offset, for compression
+	base    int            // message start within buf (prefix bytes before it)
+	offsets map[string]int // suffix -> offset from base, for compression
 }
 
 func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
@@ -91,17 +120,30 @@ func (e *encoder) name(name string) error {
 		e.buf = append(e.buf, 0)
 		return nil
 	}
-	labels := strings.Split(name, ".")
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".")
+	// Walk label boundaries over suffix substrings instead of
+	// Split/Join-ing: every suffix shares name's backing array, so the
+	// whole compression pass allocates nothing (the offsets map is
+	// cleared before the encoder returns to its pool, so those
+	// substrings are not retained either).
+	for start := 0; start < len(name); {
+		suffix := name[start:]
 		if off, ok := e.offsets[suffix]; ok && off < 0x3FFF {
 			e.u16(0xC000 | uint16(off))
 			return nil
 		}
-		if len(e.buf) < 0x3FFF {
-			e.offsets[suffix] = len(e.buf)
+		if rel := len(e.buf) - e.base; rel < 0x3FFF {
+			e.offsets[suffix] = rel
 		}
-		label := labels[i]
+		label := suffix
+		if dot := strings.IndexByte(suffix, '.'); dot >= 0 {
+			label = suffix[:dot]
+			start += dot + 1
+			if start == len(name) {
+				return ErrBadName // trailing dot survived canonicalization
+			}
+		} else {
+			start = len(name)
+		}
 		if len(label) == 0 || len(label) > 63 {
 			return ErrBadName
 		}
@@ -162,6 +204,13 @@ func Decode(data []byte) (*Message, error) {
 			return nil, err
 		}
 	}
+	// Pre-size sections from the declared counts, but never trust a count
+	// beyond what the remaining bytes could physically hold (a question is
+	// ≥5 bytes, an RR ≥11) — hostile headers must not force allocation.
+	remaining := len(d.data) - d.pos
+	if n := presize(counts[0], remaining/5); n > 0 {
+		m.Questions = make([]Question, 0, n)
+	}
 	for range counts[0] {
 		name, err := d.name()
 		if err != nil {
@@ -178,7 +227,11 @@ func Decode(data []byte) (*Message, error) {
 		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(c)})
 	}
 	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	remaining = len(d.data) - d.pos
 	for i, section := range sections {
+		if n := presize(counts[i+1], remaining/11); n > 0 {
+			*section = make([]RR, 0, n)
+		}
 		for range counts[i+1] {
 			rr, err := d.rr()
 			if err != nil {
@@ -188,6 +241,16 @@ func Decode(data []byte) (*Message, error) {
 		}
 	}
 	return &m, nil
+}
+
+// presize caps a declared record count by the physical maximum the
+// remaining payload could hold.
+func presize(count uint16, physMax int) int {
+	n := int(count)
+	if n > physMax {
+		n = physMax
+	}
+	return n
 }
 
 type decoder struct {

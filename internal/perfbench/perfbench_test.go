@@ -1,0 +1,41 @@
+package perfbench
+
+import "testing"
+
+// TestRunQuick smoke-tests the harness: every micro runs, the acceptance
+// invariants exist, and the JSON-bound structures are populated. Absolute
+// numbers are not asserted (CI machines vary); the trajectory file
+// records them.
+func TestRunQuick(t *testing.T) {
+	r, err := Run(Config{Quick: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.Micros) == 0 {
+		t.Fatal("no micros recorded")
+	}
+	for _, m := range r.Micros {
+		if m.NsPerOp <= 0 {
+			t.Errorf("micro %s: ns/op = %f", m.Name, m.NsPerOp)
+		}
+	}
+	want := map[string]bool{
+		"lookup-8way-speedup":             false,
+		"known-hashes-population-scaling": false,
+		"pacm-select-speedup":             false,
+		"append-encode-allocs":            false,
+	}
+	for _, inv := range r.Invariants {
+		if _, ok := want[inv.Name]; ok {
+			want[inv.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("invariant %s missing from report", name)
+		}
+	}
+	if got := r.Summary(); got == "" {
+		t.Error("empty summary")
+	}
+}
