@@ -35,6 +35,7 @@ import (
 	"apecache/internal/dnswire"
 	"apecache/internal/objstore"
 	"apecache/internal/realnet"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -100,6 +101,16 @@ const (
 // ParseCoherenceMode maps a CLI/config string ("off", "invalidate",
 // "swr") to a CoherenceMode.
 func ParseCoherenceMode(s string) (CoherenceMode, error) { return coherence.ParseMode(s) }
+
+// Telemetry bundles a process's metrics registry, request tracer and
+// event log; see internal/telemetry. Every server that accepts one
+// registers its instruments on the shared registry, and Register mounts
+// the exposition endpoints (/metrics, /debug/vars, /debug/pprof, /trace,
+// /events) on a daemon's HTTP mux.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry builds a telemetry bundle on env's clock.
+func NewTelemetry(env Env) *Telemetry { return telemetry.New(env) }
 
 // Addr identifies a transport endpoint (host + port).
 type Addr = transport.Addr

@@ -1,12 +1,17 @@
 // Command apectl inspects and controls a running APE-CACHE deployment:
 // the default mode fetches an AP's /status endpoint and renders the cache
 // occupancy and runtime counters; the purge subcommand publishes an
-// invalidation on the coherence bus hosted by edged.
+// invalidation on the coherence bus hosted by edged; metrics and trace
+// read the telemetry endpoints any daemon exposes.
 //
 // Usage:
 //
 //	apectl -ap 127.0.0.1:18080                  # human-readable summary
 //	apectl -ap 127.0.0.1:18080 -raw             # raw JSON
+//	apectl metrics -addr 127.0.0.1:18080        # metric table (-raw: Prometheus text)
+//	apectl metrics -addr 127.0.0.1:18080 -grep apcache_
+//	apectl trace -addr 127.0.0.1:18080          # list traces in the span ring
+//	apectl trace -addr 127.0.0.1:18080 3fb1c2d4e5f60708   # spans of one trace
 //	apectl purge -hub 127.0.0.1:8080 \
 //	       -url http://api.demo.example/obj0 -version 1   # push a purge
 //	apectl purge -hub 127.0.0.1:8080 \
@@ -18,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"apecache"
 	"apecache/internal/coherence"
@@ -29,42 +36,192 @@ import (
 
 // status mirrors apcache.Status for decoding.
 type status struct {
-	CacheUsedBytes int64  `json:"cache_used_bytes"`
-	CacheCapacity  int64  `json:"cache_capacity_bytes"`
-	Entries        int    `json:"entries"`
-	Insertions     int    `json:"insertions"`
-	Updates        int    `json:"updates"`
-	Evictions      int    `json:"evictions"`
-	Expired        int    `json:"expired"`
-	Blocked        int    `json:"blocked"`
-	Delegations    int    `json:"delegations"`
-	Prefetches     int    `json:"prefetches"`
-	DNSHits        int    `json:"dns_cache_hits"`
-	DNSMisses      int    `json:"dns_cache_misses"`
-	Policy         string `json:"policy"`
-	UptimeSec      int64  `json:"uptime_sec"`
-	Coherence      string `json:"coherence"`
-	Purges         int    `json:"purges"`
-	Revalidations  int    `json:"revalidations"`
-	StaleServes    int    `json:"stale_serves"`
-	StaleDrops     int    `json:"stale_drops"`
+	CacheUsedBytes int64      `json:"cache_used_bytes"`
+	CacheCapacity  int64      `json:"cache_capacity_bytes"`
+	Entries        int        `json:"entries"`
+	Insertions     int        `json:"insertions"`
+	Updates        int        `json:"updates"`
+	Evictions      int        `json:"evictions"`
+	Expired        int        `json:"expired"`
+	Blocked        int        `json:"blocked"`
+	Delegations    int        `json:"delegations"`
+	Prefetches     int        `json:"prefetches"`
+	DNSHits        int        `json:"dns_cache_hits"`
+	DNSMisses      int        `json:"dns_cache_misses"`
+	Policy         string     `json:"policy"`
+	UptimeSec      int64      `json:"uptime_sec"`
+	Coherence      string     `json:"coherence"`
+	Purges         int        `json:"purges"`
+	Revalidations  int        `json:"revalidations"`
+	StaleServes    int        `json:"stale_serves"`
+	StaleDrops     int        `json:"stale_drops"`
+	Gini           float64    `json:"gini"`
+	PerApp         []appUsage `json:"per_app"`
+}
+
+// appUsage mirrors cachepolicy.AppStorage for decoding.
+type appUsage struct {
+	App        string  `json:"app"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	Rate       float64 `json:"rate"`
+	Efficiency float64 `json:"efficiency"`
+	Utility    float64 `json:"utility"`
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "purge" {
-		if err := runPurge(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "apectl:", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "purge":
+		err = runPurge(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "metrics":
+		err = runMetrics(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "trace":
+		err = runTrace(os.Args[2:])
+	default:
+		ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
+		raw := flag.Bool("raw", false, "print the raw JSON status")
+		flag.Parse()
+		err = runStatus(*ap, *raw)
 	}
-	ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
-	raw := flag.Bool("raw", false, "print the raw JSON status")
-	flag.Parse()
-	if err := runStatus(*ap, *raw); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "apectl:", err)
 		os.Exit(1)
 	}
+}
+
+// fetch GETs a path from a daemon's HTTP endpoint.
+func fetch(addrStr, path string) ([]byte, error) {
+	addr, err := parseAddr(addrStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -addr: %w", err)
+	}
+	client := httplite.NewClient(apecache.NewRealHost(""))
+	resp, err := client.Get(addr, addr.Host, path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("%s returned %d: %s", path, resp.Status, strings.TrimSpace(string(resp.Body)))
+	}
+	return resp.Body, nil
+}
+
+// runMetrics fetches /metrics and renders the samples as an aligned
+// name/value table (or the raw Prometheus text with -raw).
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:18080", "daemon HTTP endpoint host:port")
+	raw := fs.Bool("raw", false, "print the raw Prometheus exposition text")
+	grep := fs.String("grep", "", "only show metrics whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := fetch(*addr, "/metrics")
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	type sample struct{ name, value string }
+	var samples []sample
+	width := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		s := sample{name: line[:i], value: line[i+1:]}
+		if *grep != "" && !strings.Contains(s.name, *grep) {
+			continue
+		}
+		if len(s.name) > width {
+			width = len(s.name)
+		}
+		samples = append(samples, s)
+	}
+	for _, s := range samples {
+		fmt.Printf("%-*s  %s\n", width, s.name, s.value)
+	}
+	return nil
+}
+
+// span mirrors telemetry.Span for decoding.
+type span struct {
+	Trace    string        `json:"trace"`
+	Name     string        `json:"name"`
+	Node     string        `json:"node"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"dur_ns"`
+	Detail   string        `json:"detail"`
+}
+
+// runTrace lists the traces in a daemon's span ring, or renders the
+// spans of one trace as a timeline.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:18080", "daemon HTTP endpoint host:port")
+	raw := fs.Bool("raw", false, "print the raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		body, err := fetch(*addr, "/trace")
+		if err != nil {
+			return err
+		}
+		if *raw {
+			fmt.Print(string(body))
+			return nil
+		}
+		var traces []struct {
+			Trace string `json:"trace"`
+			Spans int    `json:"spans"`
+		}
+		if err := json.Unmarshal(body, &traces); err != nil {
+			return fmt.Errorf("decode trace index: %w", err)
+		}
+		if len(traces) == 0 {
+			fmt.Println("no traces recorded")
+			return nil
+		}
+		fmt.Printf("%-16s  %s\n", "TRACE", "SPANS")
+		for _, tr := range traces {
+			fmt.Printf("%-16s  %d\n", tr.Trace, tr.Spans)
+		}
+		return nil
+	}
+	body, err := fetch(*addr, "/trace?id="+fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	var spans []span
+	if err := json.Unmarshal(body, &spans); err != nil {
+		return fmt.Errorf("decode spans: %w", err)
+	}
+	if len(spans) == 0 {
+		fmt.Println("no spans")
+		return nil
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	base := spans[0].Start
+	fmt.Printf("trace %s — %d spans\n", spans[0].Trace, len(spans))
+	fmt.Printf("%-10s  %-12s  %-14s  %-18s  %s\n", "OFFSET", "DURATION", "SPAN", "NODE", "DETAIL")
+	for _, s := range spans {
+		fmt.Printf("%-10s  %-12s  %-14s  %-18s  %s\n",
+			"+"+s.Start.Sub(base).String(), s.Duration.String(), s.Name, s.Node, s.Detail)
+	}
+	return nil
 }
 
 // runPurge publishes one invalidation to the coherence hub.
@@ -132,6 +289,14 @@ func runStatus(apAddr string, raw bool) error {
 		s.Delegations, s.Prefetches, s.DNSHits, s.DNSMisses)
 	fmt.Printf("coherence: %s — %d purges, %d revalidations, %d stale serves, %d stale drops\n",
 		s.Coherence, s.Purges, s.Revalidations, s.StaleServes, s.StaleDrops)
+	fmt.Printf("fairness: Gini %.3f over %d app(s)\n", s.Gini, len(s.PerApp))
+	if len(s.PerApp) > 0 {
+		fmt.Printf("%-24s  %7s  %10s  %8s  %10s  %8s\n", "APP", "ENTRIES", "KB", "RATE", "EFFICIENCY", "UTILITY")
+		for _, a := range s.PerApp {
+			fmt.Printf("%-24s  %7d  %10d  %8.3f  %10.1f  %8.1f\n",
+				a.App, a.Entries, a.Bytes>>10, a.Rate, a.Efficiency, a.Utility)
+		}
+	}
 	return nil
 }
 

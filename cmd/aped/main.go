@@ -92,6 +92,7 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	defer ap.Stop()
 	fmt.Printf("aped: DNS on %s, HTTP on %s, %d MiB %s cache, upstream %s, edge %s, coherence %s\n",
 		ap.DNSAddr(), ap.HTTPAddr(), cacheMB, policyName, upstreamAddr, edgeAddr, mode)
+	fmt.Printf("aped: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", ap.HTTPAddr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

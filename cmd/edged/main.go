@@ -71,7 +71,9 @@ func run(ip string, edgePort, originPort uint16, domains []string, perDomain int
 		return err
 	}
 
+	tel := apecache.NewTelemetry(env)
 	origin := objstore.NewOriginServer(env, catalog)
+	origin.Instrument(tel)
 	originL, err := origin.Run(host, originPort)
 	if err != nil {
 		return err
@@ -79,19 +81,25 @@ func run(ip string, edgePort, originPort uint16, domains []string, perDomain int
 	defer originL.Close()
 
 	edge := objstore.NewEdgeCacheServer(env, host, catalog, originL.Addr())
+	edge.Instrument(tel)
 	hub := coherence.NewHub(env, host, func(m coherence.Msg) { edge.Invalidate(m.URL) })
+	hub.Instrument(tel)
 	edgeL, err := host.Listen(edgePort)
 	if err != nil {
 		return err
 	}
 	defer edgeL.Close()
-	srv := httplite.NewServer(env, hub.Wrap(edge))
+	mux := httplite.NewMux()
+	tel.Register(mux)
+	mux.Handle("/", hub.Wrap(edge))
+	srv := httplite.NewServer(env, mux)
 	env.Go("edged.edge", func() { srv.Serve(edgeL) })
 
 	fmt.Printf("edged: origin on %s, edge cache on %s, %d objects across %d domain(s)\n",
 		originL.Addr(), edgeL.Addr(), catalog.Len(), len(catalog.Domains()))
 	fmt.Printf("edged: coherence bus on %s%s (publish) and %s (subscribe)\n",
 		edgeL.Addr(), coherence.PathPublish, coherence.PathSubscribe)
+	fmt.Printf("edged: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", edgeL.Addr())
 	for _, o := range catalog.All() {
 		fmt.Printf("  %s  (%d KB, prio %d, ttl %v)\n", o.URL, o.Size>>10, o.Priority, o.TTL)
 	}

@@ -19,6 +19,7 @@ import (
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/objstore"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -92,6 +93,10 @@ type Config struct {
 	// SweepInterval overrides DefaultSweepInterval when positive (the
 	// background expired-entry sweep period).
 	SweepInterval time.Duration
+	// Telemetry receives this AP's metrics, spans and events. When nil a
+	// private bundle is created; the testbed shares one bundle across all
+	// nodes so traces stitch together.
+	Telemetry *telemetry.Telemetry
 }
 
 // AP is a running APE-CACHE access point.
@@ -100,6 +105,7 @@ type AP struct {
 	store *cachepolicy.Store
 	fwd   *dnsd.Forwarder
 	edge  *httplite.Client
+	tel   *apTel
 
 	dnsConn  transport.PacketConn
 	dnsTCP   transport.Listener
@@ -137,10 +143,14 @@ func New(cfg Config) *AP {
 	if cfg.Policy == nil {
 		cfg.Policy = cachepolicy.NewPACM()
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New(cfg.Env)
+	}
 	store := cachepolicy.NewStore(cfg.Env, cfg.CacheCapacity, cfg.MaxObjectSize, cfg.Policy, nil)
+	store.Instrument(cfg.Telemetry, "apcache")
 	fwd := dnsd.NewForwarder(cfg.Env, cfg.Host, cfg.Rng, cfg.Upstream)
 	fwd.ProcessingDelay = cfg.PlainDNSProcessing
-	return &AP{
+	ap := &AP{
 		cfg:          cfg,
 		store:        store,
 		fwd:          fwd,
@@ -148,7 +158,12 @@ func New(cfg Config) *AP {
 		revalidating: make(map[string]bool),
 		delegating:   make(map[string]bool),
 	}
+	ap.tel = newAPTel(cfg.Telemetry, ap)
+	return ap
 }
+
+// Telemetry exposes the AP's telemetry bundle (apectl and tests).
+func (ap *AP) Telemetry() *telemetry.Telemetry { return ap.cfg.Telemetry }
 
 // Store exposes the cache for experiment inspection.
 func (ap *AP) Store() *cachepolicy.Store { return ap.store }
@@ -178,6 +193,7 @@ func (ap *AP) Start() error {
 	mux.HandleFunc("/delegate", ap.handleDelegate)
 	mux.HandleFunc("/status", ap.handleStatus)
 	mux.HandleFunc(coherence.DefaultPurgePath, ap.handlePurge)
+	ap.cfg.Telemetry.Register(mux)
 	srv := httplite.NewServer(ap.cfg.Env, mux)
 	ap.cfg.Env.Go("apcache.http", func() { srv.Serve(l) })
 	ap.started = ap.cfg.Env.Now()
@@ -231,9 +247,11 @@ func (ap *AP) HandleDNS(from transport.Addr, query *dnswire.Message) *dnswire.Me
 	reqRR, isCacheQuery := query.FindCacheRR(dnswire.ClassCacheRequest)
 	if !isCacheQuery {
 		ap.account(OpDNSQuery, 0)
+		ap.tel.dnsPlain.Inc()
 		return ap.fwd.HandleDNS(from, query)
 	}
 	ap.account(OpDNSCacheQuery, 0)
+	ap.tel.dnsCache.Inc()
 	if ap.cfg.DNSProcessing > 0 {
 		ap.cfg.Env.Sleep(ap.cfg.DNSProcessing)
 	}
@@ -241,6 +259,16 @@ func (ap *AP) HandleDNS(from transport.Addr, query *dnswire.Message) *dnswire.Me
 	q := query.FirstQuestion()
 	domain := dnswire.CanonicalName(q.Name)
 	resp := query.Reply()
+
+	// A trace RR in the query ties this resolution into the client's
+	// distributed trace.
+	if tid, traced := query.TraceID(); traced {
+		start := ap.cfg.Env.Now()
+		defer func() {
+			ap.cfg.Telemetry.Span(telemetry.TraceID(tid), "ap-dns", ap.nodeName(),
+				start, ap.cfg.Env.Now().Sub(start), "domain="+domain)
+		}()
+	}
 
 	// Collect flags: every hash the client asked about, merged with every
 	// URL the AP knows under the domain (batching, §IV-B).
@@ -276,6 +304,7 @@ func (ap *AP) HandleDNS(from transport.Addr, query *dnswire.Message) *dnswire.Me
 		}
 	}
 	if !anyMiss {
+		ap.tel.dummyHits.Inc()
 		resp.Answers = append(resp.Answers, dnswire.NewA(domain, 0, dnswire.DummyIP))
 		return resp
 	}
@@ -305,6 +334,15 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	if target == "" {
 		return httplite.NewResponse(400, []byte("missing u parameter"))
 	}
+	trace, _ := telemetry.ParseTraceID(req.Get(telemetry.TraceHeader))
+	result := "miss"
+	if trace != 0 {
+		start := ap.cfg.Env.Now()
+		defer func() {
+			ap.cfg.Telemetry.Span(trace, "ap-cache", ap.nodeName(),
+				start, ap.cfg.Env.Now().Sub(start), "result="+result)
+		}()
+	}
 	if app := params["app"]; app != "" {
 		ap.store.RecordRequest(app)
 	}
@@ -319,6 +357,8 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 				// scheduled one; the singleflight guard dedupes).
 				ap.cfg.Env.Go("apcache.revalidate", func() { ap.revalidate(basic) })
 				ap.account(OpCacheServe, len(stale.Data))
+				result = "stale"
+				ap.tel.serveStale.Inc()
 				resp := httplite.NewResponse(200, stale.Data)
 				resp.Set("X-Ape-Source", "ap-cache-stale")
 				resp.Set("Warning", `110 - "response is stale"`)
@@ -327,9 +367,12 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 		}
 		// Evicted or expired between lookup and fetch: the client falls
 		// back to delegation/edge.
+		ap.tel.serveMiss.Inc()
 		return httplite.NewResponse(404, []byte("not cached"))
 	}
 	ap.account(OpCacheServe, len(entry.Data))
+	result = "hit"
+	ap.tel.serveHit.Inc()
 	resp := httplite.NewResponse(200, entry.Data)
 	resp.Set("X-Ape-Source", "ap-cache")
 	return resp
@@ -347,6 +390,15 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(400, []byte("missing url body"))
 	}
 	basic := dnswire.BasicURL(rawURL)
+	trace, _ := telemetry.ParseTraceID(req.Get(telemetry.TraceHeader))
+	outcome := "error"
+	if trace != 0 {
+		spanStart := ap.cfg.Env.Now()
+		defer func() {
+			ap.cfg.Telemetry.Span(trace, "delegation", ap.nodeName(),
+				spanStart, ap.cfg.Env.Now().Sub(spanStart), "result="+outcome)
+		}()
+	}
 	ttlMin, _ := strconv.Atoi(req.Get("X-Ape-TTL"))
 	if ttlMin <= 0 {
 		ttlMin = 10
@@ -364,6 +416,7 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	// Negative cache: a purged-and-gone object answers 410 inside its
 	// window without touching the edge (re-fetching would only 404 there).
 	if ap.store.NegativeCached(basic) {
+		outcome = "negative"
 		return httplite.NewResponse(410, []byte("origin deleted object"))
 	}
 
@@ -371,6 +424,7 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	// edge fetch; followers wait and serve the freshly cached copy.
 	if body, ok := ap.awaitDelegation(basic); ok {
 		ap.account(OpCacheServe, len(body))
+		outcome = "follower"
 		resp := httplite.NewResponse(200, body)
 		resp.Set("X-Ape-Source", "ap-cache")
 		return resp
@@ -380,18 +434,30 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	// Fetch from the edge, timing the retrieval — the measured latency
 	// approximates l_d for PACM (transfer time makes it grow with object
 	// size, so critical-path objects measure slower, as in the paper).
+	// The trace header rides along so the edge's spans join the trace.
+	edgeReq := httplite.NewRequest("GET", dnswire.URLDomain(basic), dnswire.URLPath(basic))
+	if trace != 0 {
+		edgeReq.Set(telemetry.TraceHeader, trace.String())
+	}
 	start := ap.cfg.Env.Now()
-	edgeResp, err := ap.edge.Get(ap.cfg.EdgeAddr, dnswire.URLDomain(basic), dnswire.URLPath(basic))
+	edgeResp, err := ap.edge.Do(ap.cfg.EdgeAddr, edgeReq)
 	if err != nil {
+		ap.tel.delegationErrors.Inc()
 		return httplite.NewResponse(502, []byte(err.Error()))
 	}
 	if edgeResp.Status != 200 {
+		ap.tel.delegationErrors.Inc()
 		return edgeResp
 	}
 	fetchLatency := ap.cfg.Env.Now().Sub(start)
 	ap.mu.Lock()
 	ap.Delegations++
 	ap.mu.Unlock()
+	outcome = "edge"
+	ap.tel.delegations.Inc()
+	ap.tel.delegationSecs.ObserveDuration(fetchLatency)
+	ap.cfg.Telemetry.Emit("delegate", "url", basic, "app", app,
+		"bytes", len(edgeResp.Body), "latency", fetchLatency)
 	ap.account(OpDelegation, len(edgeResp.Body))
 
 	version, _ := coherence.ParseETag(edgeResp.Get("ETag"))

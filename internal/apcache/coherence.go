@@ -56,6 +56,7 @@ func (ap *AP) handlePurge(req *httplite.Request) *httplite.Response {
 	ap.mu.Lock()
 	ap.Purges++
 	ap.mu.Unlock()
+	ap.tel.purges.Inc()
 	keepStale := ap.cfg.Coherence == coherence.ModeSWR
 	_, stale := ap.store.Purge(msg.URL, msg.Version, msg.Gone, keepStale)
 	if stale {
@@ -98,6 +99,7 @@ func (ap *AP) revalidate(url string) {
 	ap.mu.Lock()
 	ap.Revalidations++
 	ap.mu.Unlock()
+	ap.tel.revalidations.Inc()
 	if err != nil {
 		// Network failure degrades to TTL-only: the stale mark stays, the
 		// entry stops being served once its allowance is spent, and the

@@ -92,6 +92,7 @@ func (ap *AP) schedulePrefetch(app string, specs []prefetchSpec) {
 		ap.mu.Lock()
 		ap.Prefetches++
 		ap.mu.Unlock()
+		ap.tel.prefetches.Inc()
 		ap.cfg.Env.Go("apcache.prefetch", func() {
 			start := ap.cfg.Env.Now()
 			resp, err := ap.edge.Get(ap.cfg.EdgeAddr, dnswire.URLDomain(spec.url), dnswire.URLPath(spec.url))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"apecache/internal/cachepolicy"
 	"apecache/internal/httplite"
 )
 
@@ -33,6 +34,11 @@ type Status struct {
 	Revalidations int    `json:"revalidations"`
 	StaleServes   int    `json:"stale_serves"`
 	StaleDrops    int    `json:"stale_drops"`
+	// Storage fairness: Gini is the inequality of per-app storage
+	// efficiency C_a (PACM's θ constraint, §V-C); PerApp breaks the cache
+	// down by app.
+	Gini   float64                  `json:"gini"`
+	PerApp []cachepolicy.AppStorage `json:"per_app,omitempty"`
 }
 
 // Snapshot assembles the current status.
@@ -42,6 +48,8 @@ func (ap *AP) Snapshot() Status {
 	delegations, prefetches := ap.Delegations, ap.Prefetches
 	purges, revalidations := ap.Purges, ap.Revalidations
 	ap.mu.Unlock()
+	dnsHits, dnsMisses := ap.fwd.CacheStats()
+	perApp, gini := ap.store.StorageReport()
 	return Status{
 		Coherence:      ap.cfg.Coherence.String(),
 		Purges:         purges,
@@ -58,10 +66,12 @@ func (ap *AP) Snapshot() Status {
 		Blocked:        stats.Blocked,
 		Delegations:    delegations,
 		Prefetches:     prefetches,
-		DNSHits:        ap.fwd.Hits,
-		DNSMisses:      ap.fwd.Misses,
+		DNSHits:        dnsHits,
+		DNSMisses:      dnsMisses,
 		Policy:         ap.cfg.Policy.Name(),
 		UptimeSec:      int64(ap.cfg.Env.Now().Sub(ap.started) / time.Second),
+		Gini:           gini,
+		PerApp:         perApp,
 	}
 }
 

@@ -1,0 +1,58 @@
+package apcache
+
+import (
+	"apecache/internal/telemetry"
+)
+
+// apTel holds the AP runtime's registered instruments (the store's own
+// live under the same registry via Store.Instrument).
+type apTel struct {
+	tel *telemetry.Telemetry
+
+	dnsPlain  *telemetry.Counter
+	dnsCache  *telemetry.Counter
+	dummyHits *telemetry.Counter
+
+	serveHit   *telemetry.Counter
+	serveStale *telemetry.Counter
+	serveMiss  *telemetry.Counter
+
+	delegations      *telemetry.Counter
+	delegationErrors *telemetry.Counter
+	delegationSecs   *telemetry.Histogram
+
+	prefetches    *telemetry.Counter
+	purges        *telemetry.Counter
+	revalidations *telemetry.Counter
+}
+
+func newAPTel(tel *telemetry.Telemetry, ap *AP) *apTel {
+	m := tel.Metrics
+	t := &apTel{
+		tel:              tel,
+		dnsPlain:         m.LabeledCounter("apcache_dns_queries_total", telemetry.LabelPair("kind", "plain"), "DNS queries by kind"),
+		dnsCache:         m.LabeledCounter("apcache_dns_queries_total", telemetry.LabelPair("kind", "cache"), "DNS queries by kind"),
+		dummyHits:        m.Counter("apcache_dummy_ip_total", "DNS-Cache answers short-circuited with the dummy IP"),
+		serveHit:         m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "hit"), "AP object serves by result"),
+		serveStale:       m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "stale"), "AP object serves by result"),
+		serveMiss:        m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "miss"), "AP object serves by result"),
+		delegations:      m.Counter("apcache_delegations_total", "edge fetch-throughs completed"),
+		delegationErrors: m.Counter("apcache_delegation_errors_total", "edge fetch-throughs failed"),
+		delegationSecs:   m.Histogram("apcache_delegation_seconds", "edge retrieval latency per delegation (l_d; virtual time under simnet)", telemetry.DurationBuckets),
+		prefetches:       m.Counter("apcache_prefetches_total", "dependency-driven background warm-ups"),
+		purges:           m.Counter("apcache_purges_total", "coherence bus purge messages applied"),
+		revalidations:    m.Counter("apcache_revalidations_total", "background conditional re-fetches completed"),
+	}
+	m.GaugeFunc("apcache_dns_forwarder_hits", "forwarder DNS cache hits", func() float64 {
+		h, _ := ap.fwd.CacheStats()
+		return float64(h)
+	})
+	m.GaugeFunc("apcache_dns_forwarder_misses", "forwarder DNS cache misses", func() float64 {
+		_, mi := ap.fwd.CacheStats()
+		return float64(mi)
+	})
+	return t
+}
+
+// nodeName labels this AP's spans.
+func (ap *AP) nodeName() string { return "ap:" + ap.cfg.Host.Name() }

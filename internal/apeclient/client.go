@@ -13,6 +13,7 @@ import (
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/metrics"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	Rng interface{ Intn(int) int }
 	// FlagTTL overrides DefaultFlagTTL when positive.
 	FlagTTL time.Duration
+	// Telemetry, when set, records client metrics and originates request
+	// traces (a trace ID rides the DNS-Cache query and every HTTP hop).
+	Telemetry *telemetry.Telemetry
 }
 
 // Stats aggregates the client-side measurements the evaluation reports.
@@ -69,6 +73,7 @@ type Client struct {
 	cfg     Config
 	flagTTL time.Duration
 	http    *httplite.Client
+	tel     *clientTel
 	// mu guards the caches, the rng and the stats: the asynchronous
 	// API-model calls may run concurrently under the real clock.
 	mu    sync.Mutex
@@ -100,6 +105,7 @@ func New(cfg Config) *Client {
 		cfg:     cfg,
 		flagTTL: flagTTL,
 		http:    httplite.NewClient(cfg.Host),
+		tel:     newClientTel(cfg.Telemetry),
 		dns:     make(map[string]dnsCacheEntry),
 		flags:   make(map[string]flagCacheEntry),
 	}
@@ -118,16 +124,26 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 	}
 
 	domain := dnswire.URLDomain(basic)
+	trace := c.newTrace()
+	if trace != 0 {
+		getStart := c.cfg.Env.Now()
+		defer func() {
+			c.cfg.Telemetry.Span(trace, "client-get", "client:"+c.cfg.Host.Name(),
+				getStart, c.cfg.Env.Now().Sub(getStart), "url="+basic)
+		}()
+	}
 
 	// Stage 1 — cache lookup (piggybacked DNS-Cache query, §IV-B).
 	lookupStart := c.cfg.Env.Now()
-	flags, edgeIP, err := c.lookup(domain)
+	flags, edgeIP, err := c.lookup(domain, trace)
 	if err != nil {
 		return nil, fmt.Errorf("apeclient: lookup %s: %w", domain, err)
 	}
+	lookupElapsed := c.cfg.Env.Now().Sub(lookupStart)
 	c.mu.Lock()
-	c.stats.Lookup.Add(c.cfg.Env.Now().Sub(lookupStart))
+	c.stats.Lookup.Add(lookupElapsed)
 	c.mu.Unlock()
+	c.tel.lookup(lookupElapsed)
 
 	flag, known := flags[dnswire.HashURL(basic)]
 	if !known {
@@ -139,6 +155,10 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 		c.stats.StaleAccepts++
 	}
 	c.mu.Unlock()
+	c.tel.request(flagLabel(flag))
+	if flag == dnswire.FlagStale {
+		c.tel.staleAccept()
+	}
 
 	// Stage 2 — fetching, dispatched on the flag.
 	retrievalStart := c.cfg.Env.Now()
@@ -147,17 +167,17 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 	case dnswire.FlagCacheHit, dnswire.FlagStale:
 		// Stale means the AP still holds a purged copy it may serve once
 		// while revalidating in the background — fetch it at hit speed.
-		body, err = c.fetchFromAP(basic)
+		body, err = c.fetchFromAP(basic, trace)
 		if err != nil {
 			// Races (eviction between lookup and fetch, or the stale
 			// allowance spent by a concurrent client) fall back to
 			// delegation rather than failing the request.
-			body, err = c.delegate(basic, cacheable)
+			body, err = c.delegate(basic, cacheable, trace)
 		}
 	case dnswire.FlagCacheMiss:
-		body, err = c.fetchFromEdge(basic, edgeIP)
+		body, err = c.fetchFromEdge(basic, edgeIP, trace)
 	default: // FlagDelegation
-		body, err = c.delegate(basic, cacheable)
+		body, err = c.delegate(basic, cacheable, trace)
 	}
 	if err != nil {
 		return nil, err
@@ -169,12 +189,17 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 		c.stats.Retrieval.Add(elapsed)
 	}
 	c.mu.Unlock()
+	c.tel.retrieval(elapsed)
 	return body, nil
 }
 
 // lookup returns the cache flags for every URL under domain plus the
-// resolved edge IP, using cached state within the flag TTL.
-func (c *Client) lookup(domain string) (map[uint64]dnswire.CacheFlag, dnswire.IPv4, error) {
+// resolved edge IP, using cached state within the flag TTL. When the
+// lookup goes to the network and the request is traced, the trace ID
+// rides the query as an extra Type-300 RR and the exchange is recorded
+// as a dns-lookup span (flag-cache hits never touch the wire, so they
+// record nothing).
+func (c *Client) lookup(domain string, trace telemetry.TraceID) (map[uint64]dnswire.CacheFlag, dnswire.IPv4, error) {
 	now := c.cfg.Env.Now()
 	c.mu.Lock()
 	fc, haveFlags := c.flags[domain]
@@ -195,8 +220,16 @@ func (c *Client) lookup(domain string) (map[uint64]dnswire.CacheFlag, dnswire.IP
 	query := dnswire.NewQuery(id, domain, dnswire.TypeA)
 	query.Additional = append(query.Additional,
 		dnswire.NewCacheRR(domain, dnswire.ClassCacheRequest, entries))
+	if trace != 0 {
+		query.Additional = append(query.Additional, dnswire.NewTraceRR(domain, uint64(trace)))
+	}
 
+	queryStart := c.cfg.Env.Now()
 	resp, err := c.queryWithRetry(query)
+	if trace != 0 {
+		c.cfg.Telemetry.Span(trace, "dns-lookup", "client:"+c.cfg.Host.Name(),
+			queryStart, c.cfg.Env.Now().Sub(queryStart), "domain="+domain)
+	}
 	if err != nil {
 		return nil, dnswire.IPv4{}, err
 	}
@@ -249,9 +282,13 @@ func (c *Client) queryWithRetry(query *dnswire.Message) (*dnswire.Message, error
 }
 
 // fetchFromAP retrieves a cached object from the AP (flag = Cache-Hit).
-func (c *Client) fetchFromAP(basic string) ([]byte, error) {
+func (c *Client) fetchFromAP(basic string, trace telemetry.TraceID) ([]byte, error) {
 	path := "/cache?u=" + url.QueryEscape(basic) + "&app=" + url.QueryEscape(c.cfg.Registry.App())
-	resp, err := c.http.Get(c.cfg.APHTTP, c.cfg.APHTTP.Host, path)
+	req := httplite.NewRequest("GET", c.cfg.APHTTP.Host, path)
+	if trace != 0 {
+		req.Set(telemetry.TraceHeader, trace.String())
+	}
+	resp, err := c.http.Do(c.cfg.APHTTP, req)
 	if err != nil {
 		return nil, fmt.Errorf("apeclient: ap fetch: %w", err)
 	}
@@ -263,9 +300,12 @@ func (c *Client) fetchFromAP(basic string) ([]byte, error) {
 
 // delegate asks the AP to fetch, cache and relay the object
 // (flag = Delegation). Declared dependents ride along as prefetch hints.
-func (c *Client) delegate(basic string, cb Cacheable) ([]byte, error) {
+func (c *Client) delegate(basic string, cb Cacheable, trace telemetry.TraceID) ([]byte, error) {
 	req := httplite.NewRequest("POST", c.cfg.APHTTP.Host, "/delegate")
 	req.Body = []byte(basic)
+	if trace != 0 {
+		req.Set(telemetry.TraceHeader, trace.String())
+	}
 	req.Set("X-Ape-TTL", strconv.Itoa(int(cb.TTL/time.Minute)))
 	req.Set("X-Ape-Priority", strconv.Itoa(cb.Priority))
 	req.Set("X-Ape-App", c.cfg.Registry.App())
@@ -303,12 +343,16 @@ func (c *Client) prefetchHint(basic string) string {
 
 // fetchFromEdge retrieves the object from the resolved edge server
 // (flag = Cache-Miss, or unregistered URLs after plain resolution).
-func (c *Client) fetchFromEdge(basic string, ip dnswire.IPv4) ([]byte, error) {
+func (c *Client) fetchFromEdge(basic string, ip dnswire.IPv4, trace telemetry.TraceID) ([]byte, error) {
 	if ip.IsZero() || ip == dnswire.DummyIP {
 		return nil, fmt.Errorf("apeclient: no edge address for %s", basic)
 	}
 	addr := c.edgeAddr(ip)
-	resp, err := c.http.Get(addr, dnswire.URLDomain(basic), dnswire.URLPath(basic))
+	req := httplite.NewRequest("GET", dnswire.URLDomain(basic), dnswire.URLPath(basic))
+	if trace != 0 {
+		req.Set(telemetry.TraceHeader, trace.String())
+	}
+	resp, err := c.http.Do(addr, req)
 	if err != nil {
 		return nil, fmt.Errorf("apeclient: edge fetch: %w", err)
 	}
@@ -381,5 +425,5 @@ func (c *Client) getPlain(basic string) ([]byte, error) {
 		c.dns[domain] = dc
 		c.mu.Unlock()
 	}
-	return c.fetchFromEdge(basic, dc.ip)
+	return c.fetchFromEdge(basic, dc.ip, 0)
 }

@@ -196,7 +196,7 @@ func TestDummyIPShortCircuit(t *testing.T) {
 		// touch upstream DNS and complete in one client<->AP round trip.
 		upstreamBefore := fx.ap.Forwarder().Misses + fx.ap.Forwarder().Hits
 		start := fx.sim.Now()
-		flags, ip, err := c.lookup("api.movie.example")
+		flags, ip, err := c.lookup("api.movie.example", 0)
 		if err != nil {
 			t.Errorf("lookup: %v", err)
 			return
@@ -314,14 +314,14 @@ func TestLookupLatencyPiggybackVsTwoQueries(t *testing.T) {
 		c := fx.newClient(movieRegistry())
 		// Warm the AP's DNS cache so both measurements compare pure
 		// lookup mechanics rather than upstream resolution.
-		if _, _, err := c.lookup("api.movie.example"); err != nil {
+		if _, _, err := c.lookup("api.movie.example", 0); err != nil {
 			t.Errorf("warm-up lookup: %v", err)
 			return
 		}
 		fx.sim.Sleep(2 * time.Second) // expire the client's flag cache
 
 		start := fx.sim.Now()
-		if _, _, err := c.lookup("api.movie.example"); err != nil {
+		if _, _, err := c.lookup("api.movie.example", 0); err != nil {
 			t.Errorf("lookup: %v", err)
 			return
 		}

@@ -92,7 +92,7 @@ func TestCacheHitRaceFallsBackToDelegation(t *testing.T) {
 		}
 		// Look up while fresh, then stall until the entry expires before
 		// fetching: force by pre-filling the flag cache and sleeping.
-		if _, _, err := c.lookup("api.movie.example"); err != nil {
+		if _, _, err := c.lookup("api.movie.example", 0); err != nil {
 			t.Errorf("lookup: %v", err)
 			return
 		}

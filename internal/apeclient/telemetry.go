@@ -1,0 +1,89 @@
+package apeclient
+
+import (
+	"time"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/telemetry"
+)
+
+// clientTel holds the client library's registered instruments. A nil
+// *clientTel (no Telemetry configured) makes every method a no-op, so
+// the uninstrumented client pays one predicted branch per call.
+type clientTel struct {
+	tel       *telemetry.Telemetry
+	requests  map[string]*telemetry.Counter
+	lookupS   *telemetry.Histogram
+	retrievS  *telemetry.Histogram
+	staleAccs *telemetry.Counter
+}
+
+func newClientTel(tel *telemetry.Telemetry) *clientTel {
+	if tel == nil {
+		return nil
+	}
+	m := tel.Metrics
+	t := &clientTel{
+		tel:      tel,
+		requests: make(map[string]*telemetry.Counter, 4),
+		lookupS:  m.Histogram("apeclient_lookup_seconds", "cache-lookup stage latency (virtual under simnet)", telemetry.DurationBuckets),
+		retrievS: m.Histogram("apeclient_retrieval_seconds", "cache-retrieval stage latency across all flags", telemetry.DurationBuckets),
+		staleAccs: m.Counter("apeclient_stale_accepts_total",
+			"requests answered from a purged AP entry under stale-while-revalidate"),
+	}
+	for _, flag := range []string{"hit", "stale", "miss", "delegation"} {
+		t.requests[flag] = m.LabeledCounter("apeclient_requests_total",
+			telemetry.LabelPair("flag", flag), "registered-URL fetches by dispatched cache flag")
+	}
+	return t
+}
+
+func (t *clientTel) request(flag string) {
+	if t != nil {
+		t.requests[flag].Inc()
+	}
+}
+
+func (t *clientTel) lookup(d time.Duration) {
+	if t != nil {
+		t.lookupS.ObserveDuration(d)
+	}
+}
+
+func (t *clientTel) retrieval(d time.Duration) {
+	if t != nil {
+		t.retrievS.ObserveDuration(d)
+	}
+}
+
+func (t *clientTel) staleAccept() {
+	if t != nil {
+		t.staleAccs.Inc()
+	}
+}
+
+// newTrace allocates a trace ID for one Get; zero (no telemetry, or the
+// request falls outside the sampling rate) disables all span recording
+// downstream.
+func (c *Client) newTrace() telemetry.TraceID {
+	if c.cfg.Telemetry == nil {
+		return 0
+	}
+	return c.cfg.Telemetry.Tracer.NewTrace()
+}
+
+// flagLabel names a cache flag for metric labels and span details.
+func flagLabel(f dnswire.CacheFlag) string {
+	switch f {
+	case dnswire.FlagCacheHit:
+		return "hit"
+	case dnswire.FlagCacheMiss:
+		return "miss"
+	case dnswire.FlagDelegation:
+		return "delegation"
+	case dnswire.FlagStale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}

@@ -48,6 +48,7 @@ func (s *Store) Purge(url string, version int64, gone, keepStale bool) (resident
 		return false, false
 	}
 	s.stats.Purged++
+	s.tel.purge(url, gone)
 	if keepStale && !gone {
 		if !e.Stale {
 			// Stale entries no longer count toward the domain's
@@ -59,6 +60,7 @@ func (s *Store) Purge(url string, version int64, gone, keepStale bool) (resident
 		return true, true
 	}
 	s.removeEntry(url)
+	s.tel.evicted(url, "purged")
 	return true, false
 }
 
@@ -80,6 +82,7 @@ func (s *Store) GetStale(url string) (*Entry, bool) {
 	e.LastUsed = now
 	e.Hits++
 	s.stats.StaleServes++
+	s.tel.staleServe(url)
 	return e, true
 }
 
@@ -126,6 +129,8 @@ func (s *Store) MarkGone(url string) {
 	if _, ok := s.entries[url]; ok {
 		s.removeEntry(url)
 		s.stats.Purged++
+		s.tel.purge(url, true)
+		s.tel.evicted(url, "purged")
 	}
 }
 

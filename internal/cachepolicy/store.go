@@ -157,6 +157,9 @@ type Store struct {
 	expiries expiryHeap
 	// domains is the per-domain lookup index (see index.go).
 	domains map[string]*domainIndex
+	// tel is the optional telemetry hookup (see telemetry.go); nil keeps
+	// every hook a no-op.
+	tel *storeTel
 }
 
 // NewStore builds a cache with the given capacity and policy. A zero
@@ -327,13 +330,16 @@ func (s *Store) Get(url string) (*Entry, bool) {
 	defer s.mu.RUnlock()
 	e, ok := s.entries[url]
 	if !ok {
+		s.tel.lookup(false)
 		return nil, false
 	}
 	now := s.clock.Now()
 	if !e.Fresh(now) || e.Stale {
+		s.tel.lookup(false)
 		return nil, false
 	}
 	e.touch(now)
+	s.tel.lookup(true)
 	return e, true
 }
 
@@ -352,6 +358,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		s.blocklist[obj.URL] = struct{}{}
 		s.indexKnown(obj.Hash(), obj.URL)
 		s.stats.Blocked++
+		s.tel.put(obj.URL, "blocked")
 		return fmt.Errorf("%w: %s (%d bytes)", ErrBlocked, obj.URL, size)
 	}
 	if hw, ok := s.purged[obj.URL]; ok && obj.Version < hw {
@@ -359,6 +366,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		// stale, so caching them would resurrect exactly what the origin
 		// invalidated.
 		s.stats.StaleDrops++
+		s.tel.put(obj.URL, "stale-drop")
 		return fmt.Errorf("%w: %s (version %d < purge %d)", ErrStaleVersion, obj.URL, obj.Version, hw)
 	}
 	// A current-or-newer payload supersedes any negative-cache window (the
@@ -389,6 +397,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 			s.domainHitDelta(obj.URL, +1)
 		}
 		s.stats.Updates++
+		s.tel.put(obj.URL, "update")
 		s.makeRoom(nil) // in case the refresh grew the entry
 		return nil
 	}
@@ -411,6 +420,7 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 	s.domainHitDelta(obj.URL, +1)
 	s.used += size
 	s.stats.Insertions++
+	s.tel.put(obj.URL, "insert")
 	return nil
 }
 
@@ -483,6 +493,7 @@ func (s *Store) dropExpiredLocked(now time.Time) int {
 		popExpiry(&s.expiries)
 		s.removeEntry(top.url)
 		s.stats.Expired++
+		s.tel.evicted(top.url, "expired")
 		dropped++
 	}
 	return dropped
@@ -504,13 +515,24 @@ func (s *Store) makeRoom(incoming *Entry) {
 	for _, e := range entries {
 		e.syncRecency() // policies read LastUsed/Hits
 	}
+	// Selection time is measured on the wall clock even under simnet:
+	// compute does not advance virtual time, and the point of the metric
+	// is the real CPU cost of a PACM pass.
+	var selStart time.Time
+	if s.tel != nil {
+		selStart = time.Now()
+	}
 	victims := s.policy.SelectVictims(now, entries, incoming, s.capacity, s.freq)
+	if s.tel != nil {
+		s.tel.selection.ObserveDuration(time.Since(selStart))
+	}
 	for _, v := range victims {
 		if _, ok := s.entries[v.Object.URL]; !ok {
 			continue
 		}
 		s.removeEntry(v.Object.URL)
 		s.stats.Evictions++
+		s.tel.evicted(v.Object.URL, "capacity")
 		need -= v.Size()
 	}
 	// The policy is trusted but verified: if it under-evicted, fall back
@@ -535,6 +557,7 @@ func (s *Store) makeRoom(incoming *Entry) {
 			need -= e.Size()
 			s.removeEntry(e.Object.URL)
 			s.stats.Evictions++
+			s.tel.evicted(e.Object.URL, "capacity")
 		}
 	}
 }

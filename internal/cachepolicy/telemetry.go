@@ -1,0 +1,197 @@
+package cachepolicy
+
+import (
+	"sort"
+
+	"apecache/internal/telemetry"
+)
+
+// storeTel holds a Store's registered instruments. A nil *storeTel (the
+// uninstrumented default) makes every hook a no-op branch, keeping the
+// read path unchanged for stores created outside a daemon.
+type storeTel struct {
+	tel *telemetry.Telemetry
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+
+	insertions *telemetry.Counter
+	updates    *telemetry.Counter
+	blocked    *telemetry.Counter
+	staleDrops *telemetry.Counter
+
+	evictCapacity *telemetry.Counter
+	evictExpired  *telemetry.Counter
+	evictPurged   *telemetry.Counter
+
+	staleServes *telemetry.Counter
+	selection   *telemetry.Histogram
+}
+
+// Instrument registers the store's metrics on tel under the given name
+// prefix (e.g. "apcache" → apcache_store_lookups_total) and turns on
+// eviction/purge event logging. Call once, before serving traffic.
+//
+// Hot-path cost is deliberately minimal: Get adds exactly one atomic
+// increment; everything richer (gauges, per-app efficiency, Gini) is
+// computed at exposition time from a snapshot.
+func (s *Store) Instrument(tel *telemetry.Telemetry, prefix string) {
+	m := tel.Metrics
+	t := &storeTel{
+		tel:           tel,
+		hits:          m.LabeledCounter(prefix+"_store_lookups_total", telemetry.LabelPair("result", "hit"), "store Get results"),
+		misses:        m.LabeledCounter(prefix+"_store_lookups_total", telemetry.LabelPair("result", "miss"), "store Get results"),
+		insertions:    m.Counter(prefix+"_store_insertions_total", "objects admitted"),
+		updates:       m.Counter(prefix+"_store_updates_total", "resident objects refreshed"),
+		blocked:       m.Counter(prefix+"_store_blocked_total", "oversized objects block-listed"),
+		staleDrops:    m.Counter(prefix+"_store_stale_drops_total", "puts dropped below the purge high-water mark"),
+		evictCapacity: m.LabeledCounter(prefix+"_store_evictions_total", telemetry.LabelPair("cause", "capacity"), "evictions by cause"),
+		evictExpired:  m.LabeledCounter(prefix+"_store_evictions_total", telemetry.LabelPair("cause", "expired"), "evictions by cause"),
+		evictPurged:   m.LabeledCounter(prefix+"_store_evictions_total", telemetry.LabelPair("cause", "purged"), "evictions by cause"),
+		staleServes:   m.Counter(prefix+"_store_stale_serves_total", "stale-while-revalidate serves"),
+		selection:     m.Histogram(prefix+"_pacm_selection_seconds", "victim-selection wall time per admission", telemetry.ComputeBuckets),
+	}
+	m.GaugeFunc(prefix+"_store_entries", "resident objects", func() float64 { return float64(s.Len()) })
+	m.GaugeFunc(prefix+"_store_used_bytes", "resident payload bytes", func() float64 { return float64(s.Used()) })
+	m.GaugeFunc(prefix+"_store_capacity_bytes", "configured capacity", func() float64 { return float64(s.Capacity()) })
+	m.GaugeFunc(prefix+"_store_gini", "Gini coefficient of per-app storage efficiency (PACM fairness input)", func() float64 {
+		_, gini := s.StorageReport()
+		return gini
+	})
+	m.Collect(prefix+"_store_app_bytes", "resident bytes per app", telemetry.KindGauge, func(dst []telemetry.Sample) []telemetry.Sample {
+		report, _ := s.StorageReport()
+		for _, a := range report {
+			dst = append(dst, telemetry.Sample{Labels: telemetry.LabelPair("app", a.App), Value: float64(a.Bytes)})
+		}
+		return dst
+	})
+	m.Collect(prefix+"_store_app_efficiency", "per-app storage efficiency C_a = bytes/R(a)", telemetry.KindGauge, func(dst []telemetry.Sample) []telemetry.Sample {
+		report, _ := s.StorageReport()
+		for _, a := range report {
+			dst = append(dst, telemetry.Sample{Labels: telemetry.LabelPair("app", a.App), Value: a.Efficiency})
+		}
+		return dst
+	})
+	m.Collect(prefix+"_store_app_utility", "summed PACM utility U_d per app", telemetry.KindGauge, func(dst []telemetry.Sample) []telemetry.Sample {
+		report, _ := s.StorageReport()
+		for _, a := range report {
+			dst = append(dst, telemetry.Sample{Labels: telemetry.LabelPair("app", a.App), Value: a.Utility})
+		}
+		return dst
+	})
+	s.mu.Lock()
+	s.tel = t
+	s.mu.Unlock()
+}
+
+func (t *storeTel) lookup(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.hits.Inc()
+	} else {
+		t.misses.Inc()
+	}
+}
+
+// evicted counts one eviction and logs it. cause is "capacity",
+// "expired" or "purged".
+func (t *storeTel) evicted(url, cause string) {
+	if t == nil {
+		return
+	}
+	switch cause {
+	case "capacity":
+		t.evictCapacity.Inc()
+	case "expired":
+		t.evictExpired.Inc()
+	default:
+		t.evictPurged.Inc()
+	}
+	t.tel.Emit("evict", "url", url, "cause", cause)
+}
+
+func (t *storeTel) put(url, outcome string) {
+	if t == nil {
+		return
+	}
+	switch outcome {
+	case "insert":
+		t.insertions.Inc()
+	case "update":
+		t.updates.Inc()
+	case "blocked":
+		t.blocked.Inc()
+		t.tel.Emit("blocked", "url", url)
+	case "stale-drop":
+		t.staleDrops.Inc()
+		t.tel.Emit("stale-drop", "url", url)
+	}
+}
+
+func (t *storeTel) staleServe(url string) {
+	if t == nil {
+		return
+	}
+	t.staleServes.Inc()
+	t.tel.Emit("stale-serve", "url", url)
+}
+
+func (t *storeTel) purge(url string, gone bool) {
+	if t == nil {
+		return
+	}
+	t.tel.Emit("purge", "url", url, "gone", gone)
+}
+
+// AppStorage is one app's slice of the cache in a StorageReport: how
+// many bytes it occupies, its request rate R(a), the resulting storage
+// efficiency C_a = bytes/R(a) that the PACM fairness constraint bounds,
+// and the summed utility of its resident objects.
+type AppStorage struct {
+	App        string  `json:"app"`
+	Entries    int     `json:"entries"`
+	Bytes      int64   `json:"bytes"`
+	Rate       float64 `json:"rate"`
+	Efficiency float64 `json:"efficiency"`
+	Utility    float64 `json:"utility"`
+}
+
+// StorageReport summarizes the resident set per app (sorted by app
+// name) together with the current Gini coefficient over the per-app
+// storage efficiencies — the live view of the PACM fairness constraint
+// F(A) ≤ θ.
+func (s *Store) StorageReport() ([]AppStorage, float64) {
+	s.mu.RLock()
+	now := s.clock.Now()
+	rc := newRateCache(s.freq)
+	per := make(map[string]*AppStorage)
+	for _, e := range s.entries {
+		app := e.Object.App
+		a := per[app]
+		if a == nil {
+			a = &AppStorage{App: app}
+			per[app] = a
+		}
+		a.Entries++
+		a.Bytes += e.Size()
+		a.Utility += rc.utility(e, now)
+	}
+	s.mu.RUnlock()
+
+	eff := make(map[string]float64, len(per))
+	out := make([]AppStorage, 0, len(per))
+	for app, a := range per {
+		a.Rate = rc.rate(app)
+		r := a.Rate
+		if r < MinRate {
+			r = MinRate
+		}
+		a.Efficiency = float64(a.Bytes) / r
+		eff[app] = a.Efficiency
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out, Gini(eff)
+}

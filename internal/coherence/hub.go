@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"apecache/internal/httplite"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -27,6 +28,29 @@ type Hub struct {
 	// subscriber deliveries attempted. Read them only from quiescent code.
 	Published int
 	Relayed   int
+
+	tel       *telemetry.Telemetry
+	published *telemetry.Counter
+	relayed   *telemetry.Counter
+}
+
+// Instrument registers the bus counters and a subscriber-count gauge,
+// and enables purge event logging.
+func (h *Hub) Instrument(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	m := tel.Metrics
+	m.GaugeFunc("coherence_subscribers", "downstream caches registered on the bus", func() float64 {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return float64(len(h.subs))
+	})
+	h.mu.Lock()
+	h.tel = tel
+	h.published = m.Counter("coherence_published_total", "purge publications accepted")
+	h.relayed = m.Counter("coherence_relayed_total", "per-subscriber purge deliveries attempted")
+	h.mu.Unlock()
 }
 
 // NewHub builds a hub that dials subscribers from host. onPurge may be
@@ -104,7 +128,11 @@ func (h *Hub) handlePublish(req *httplite.Request) *httplite.Response {
 	subs := make([]subscription, len(h.subs))
 	copy(subs, h.subs)
 	h.Relayed += len(subs)
+	tel := h.tel
+	h.published.Inc()
+	h.relayed.Add(int64(len(subs)))
 	h.mu.Unlock()
+	tel.Emit("purge", "url", msg.URL, "version", msg.Version, "gone", msg.Gone, "subscribers", len(subs))
 
 	body, _ := json.Marshal(msg)
 	for _, sub := range subs {

@@ -342,6 +342,14 @@ func NewForwarder(env vclock.Env, host transport.Host, rng interface{ Intn(int) 
 	}
 }
 
+// CacheStats returns the hit/miss counters under the lock (telemetry
+// gauges and status snapshots read them while handlers run).
+func (f *Forwarder) CacheStats() (hits, misses int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.Hits, f.Misses
+}
+
 // LookupCached returns the cached answers for name if fresh.
 func (f *Forwarder) LookupCached(name string) ([]dnswire.RR, bool) {
 	f.mu.Lock()

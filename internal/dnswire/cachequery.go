@@ -147,6 +147,27 @@ func URLPath(url string) string {
 	return "/"
 }
 
+// NewTraceRR builds the telemetry RR that piggybacks a trace ID on a
+// DNS-Cache query: Type 300 like the cache RR, ClassTrace so the AP's
+// FindCacheRR scans ignore it, RDATA the 8-byte big-endian trace ID.
+func NewTraceRR(domain string, traceID uint64) RR {
+	var data [8]byte
+	binary.BigEndian.PutUint64(data[:], traceID)
+	return RR{Name: CanonicalName(domain), Type: TypeDNSCache, Class: ClassTrace, Data: data[:]}
+}
+
+// TraceID extracts a piggybacked trace ID from the Additional section,
+// reporting false when the query carries none (or a malformed one).
+func (m *Message) TraceID() (uint64, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type == TypeDNSCache && rr.Class == ClassTrace && len(rr.Data) == 8 {
+			id := binary.BigEndian.Uint64(rr.Data)
+			return id, id != 0
+		}
+	}
+	return 0, false
+}
+
 // DummyIP is returned by an APE-CACHE AP in place of a real resolution
 // when every URL of the domain is cached locally, letting the client skip
 // upstream DNS entirely (TEST-NET-2, never routable).

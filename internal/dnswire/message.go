@@ -62,6 +62,10 @@ const (
 	ClassIN            Class = 1
 	ClassCacheRequest  Class = 0xFF01
 	ClassCacheResponse Class = 0xFF02
+	// ClassTrace marks a Type-300 RR carrying a telemetry trace ID
+	// piggybacked on a DNS-Cache query, so per-request spans recorded at
+	// the AP join the client's trace.
+	ClassTrace Class = 0xFF03
 )
 
 // String renders the mnemonic class name.
@@ -73,6 +77,8 @@ func (c Class) String() string {
 		return "REQUEST"
 	case ClassCacheResponse:
 		return "RESPONSE"
+	case ClassTrace:
+		return "TRACE"
 	default:
 		return fmt.Sprintf("CLASS%d", uint16(c))
 	}

@@ -12,6 +12,7 @@ import (
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/metrics"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -28,6 +29,9 @@ type Config struct {
 	Book *dnsd.AddrBook
 	// Rng provides DNS transaction IDs.
 	Rng interface{ Intn(int) int }
+	// Telemetry, when set, registers baseline latency histograms so the
+	// two workflows are comparable on one dashboard.
+	Telemetry *telemetry.Telemetry
 }
 
 // Stats mirrors the APE-CACHE client measurements for comparison. Every
@@ -45,6 +49,9 @@ type Client struct {
 	http  *httplite.Client
 	dns   map[string]dnsEntry
 	stats Stats
+
+	lookupS  *telemetry.Histogram
+	retrievS *telemetry.Histogram
 }
 
 type dnsEntry struct {
@@ -57,11 +64,17 @@ func New(cfg Config) *Client {
 	if cfg.EdgeHTTPPort == 0 {
 		cfg.EdgeHTTPPort = 80
 	}
-	return &Client{
+	c := &Client{
 		cfg:  cfg,
 		http: httplite.NewClient(cfg.Host),
 		dns:  make(map[string]dnsEntry),
 	}
+	if cfg.Telemetry != nil {
+		m := cfg.Telemetry.Metrics
+		c.lookupS = m.Histogram("edgecache_lookup_seconds", "baseline DNS-lookup stage latency", telemetry.DurationBuckets)
+		c.retrievS = m.Histogram("edgecache_retrieval_seconds", "baseline edge-retrieval stage latency", telemetry.DurationBuckets)
+	}
+	return c
 }
 
 // Stats exposes the accumulated measurements.
@@ -78,7 +91,9 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edgecache: resolve %s: %w", domain, err)
 	}
-	c.stats.Lookup.Add(c.cfg.Env.Now().Sub(lookupStart))
+	lookupElapsed := c.cfg.Env.Now().Sub(lookupStart)
+	c.stats.Lookup.Add(lookupElapsed)
+	c.lookupS.ObserveDuration(lookupElapsed)
 
 	retrievalStart := c.cfg.Env.Now()
 	host := ip.String()
@@ -97,6 +112,7 @@ func (c *Client) Get(rawURL string) ([]byte, error) {
 	elapsed := c.cfg.Env.Now().Sub(retrievalStart)
 	c.stats.Retrieval.Add(elapsed)
 	c.stats.RetrievalAll.Add(elapsed)
+	c.retrievS.ObserveDuration(elapsed)
 	return resp.Body, nil
 }
 

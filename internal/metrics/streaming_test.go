@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStreamingLatencyStatsExactAggregates(t *testing.T) {
+	s := NewStreamingLatencyStats()
+	if !s.Streaming() {
+		t.Fatal("not in streaming mode")
+	}
+	exact := &LatencyStats{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(200)+1) * time.Millisecond
+		s.Add(d)
+		exact.Add(d)
+	}
+	if s.Count() != exact.Count() {
+		t.Errorf("count %d != %d", s.Count(), exact.Count())
+	}
+	if s.Mean() != exact.Mean() {
+		t.Errorf("mean %v != %v (must be exact)", s.Mean(), exact.Mean())
+	}
+	if s.Min() != exact.Min() || s.Max() != exact.Max() {
+		t.Errorf("min/max %v/%v != %v/%v", s.Min(), s.Max(), exact.Min(), exact.Max())
+	}
+	if s.Samples() != nil {
+		t.Error("streaming mode retained samples")
+	}
+}
+
+func TestStreamingPercentileAccuracy(t *testing.T) {
+	s := NewStreamingLatencyStats()
+	exact := &LatencyStats{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over 100µs..1.6s, the interesting latency range.
+		d := time.Duration(float64(100*time.Microsecond) * float64(int(1)<<rng.Intn(14)))
+		d += time.Duration(rng.Int63n(int64(d)))
+		s.Add(d)
+		exact.Add(d)
+	}
+	for _, p := range []float64{50, 90, 95, 99} {
+		got, want := s.Percentile(p), exact.Percentile(p)
+		// The estimate must land within one 2x bucket of the true value.
+		if got < want/2 || got > want*2 {
+			t.Errorf("p%.0f estimate %v too far from exact %v", p, got, want)
+		}
+	}
+	if got := s.Percentile(100); got != exact.Max() {
+		t.Errorf("p100 = %v, want exact max %v", got, exact.Max())
+	}
+}
+
+func TestStreamingBoundedMemory(t *testing.T) {
+	s := NewStreamingLatencyStats(time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(time.Duration(i%20) * time.Millisecond)
+	}
+	if s.Count() != 1_000_000 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if len(s.buckets) != 3 || len(s.samples) != 0 {
+		t.Errorf("buckets=%d samples=%d — memory not bounded", len(s.buckets), len(s.samples))
+	}
+}
+
+func TestStreamingMerge(t *testing.T) {
+	// Streaming += exact.
+	a := NewStreamingLatencyStats()
+	b := &LatencyStats{}
+	for i := 1; i <= 10; i++ {
+		b.Add(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 10 || a.Mean() != b.Mean() || a.Max() != b.Max() {
+		t.Errorf("streaming+=exact: n=%d mean=%v max=%v", a.Count(), a.Mean(), a.Max())
+	}
+
+	// Streaming += streaming, same bounds: exact bucket addition.
+	c := NewStreamingLatencyStats()
+	for i := 1; i <= 10; i++ {
+		c.Add(time.Duration(i) * time.Second)
+	}
+	a.Merge(c)
+	if a.Count() != 20 || a.Max() != 10*time.Second || a.Min() != time.Millisecond {
+		t.Errorf("streaming+=streaming: n=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+
+	// Exact += streaming: the target promotes to streaming and keeps
+	// exact count/sum/min/max.
+	d := &LatencyStats{}
+	d.Add(5 * time.Millisecond)
+	d.Merge(c)
+	if !d.Streaming() {
+		t.Fatal("exact target did not promote")
+	}
+	if d.Count() != 11 || d.Min() != 5*time.Millisecond || d.Max() != 10*time.Second {
+		t.Errorf("exact+=streaming: n=%d min=%v max=%v", d.Count(), d.Min(), d.Max())
+	}
+	wantMean := (5*time.Millisecond + 55*time.Second) / 11
+	if d.Mean() != wantMean {
+		t.Errorf("mean = %v, want %v", d.Mean(), wantMean)
+	}
+
+	// Different bounds: approximate distribution, exact aggregates.
+	e := NewStreamingLatencyStats(time.Millisecond, time.Second)
+	e.Merge(c)
+	if e.Count() != 10 || e.Mean() != c.Mean() {
+		t.Errorf("different bounds: n=%d mean=%v", e.Count(), e.Mean())
+	}
+}
+
+func TestTimeSeriesBoundedKeepsExactMeanMax(t *testing.T) {
+	var bounded, free TimeSeries
+	bounded.SetMaxPoints(64)
+	base := time.Unix(0, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		v := rng.Float64() * 100
+		ts := base.Add(time.Duration(i) * time.Second)
+		bounded.Sample(ts, v)
+		free.Sample(ts, v)
+	}
+	if len(bounded.Points()) >= 64 {
+		t.Errorf("bounded series holds %d points", len(bounded.Points()))
+	}
+	if bounded.Mean() != free.Mean() {
+		t.Errorf("Mean %v != %v (must be exact)", bounded.Mean(), free.Mean())
+	}
+	if bounded.Max() != free.Max() {
+		t.Errorf("Max %v != %v (must be exact)", bounded.Max(), free.Max())
+	}
+	if bounded.Count() != 10000 {
+		t.Errorf("Count = %d", bounded.Count())
+	}
+	// Decimated points preserve chronological order.
+	pts := bounded.Points()
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].T.Before(pts[i].T) {
+			t.Fatalf("points out of order at %d", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"apecache/internal/coherence"
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -21,6 +22,9 @@ type OriginServer struct {
 	// Requests counts objects served (for server-load assertions); read
 	// it only from quiescent code.
 	Requests int
+
+	tel      *telemetry.Telemetry
+	requests *telemetry.Counter
 }
 
 // NewOriginServer builds the origin handler.
@@ -40,7 +44,16 @@ func (s *OriginServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	}
 	s.mu.Lock()
 	s.Requests++
+	tel, requests := s.tel, s.requests
 	s.mu.Unlock()
+	requests.Inc()
+	if trace, ok := telemetry.ParseTraceID(req.Get(telemetry.TraceHeader)); ok {
+		start := s.env.Now()
+		defer func() {
+			tel.Span(trace, "origin-serve", "origin:"+req.Host,
+				start, s.env.Now().Sub(start), "path="+req.Path)
+		}()
+	}
 	etag := obj.ETag()
 	if inm := req.Get("If-None-Match"); inm != "" && inm == etag {
 		resp := httplite.NewResponse(304, nil)
@@ -87,6 +100,8 @@ type EdgeCacheServer struct {
 	// Hits and Misses count cache outcomes (warm-up visibility); read
 	// them only from quiescent code.
 	Hits, Misses int
+
+	tel *edgeTel
 }
 
 // NewEdgeCacheServer builds an edge cache that fills from the origin at
@@ -139,10 +154,24 @@ func (s *EdgeCacheServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	if !ok {
 		return httplite.NewResponse(404, []byte("unknown object"))
 	}
+	trace, _ := telemetry.ParseTraceID(req.Get(telemetry.TraceHeader))
+	s.mu.Lock()
+	tel := s.tel
+	s.mu.Unlock()
+	result := "miss"
+	if trace != 0 && tel != nil {
+		start := s.env.Now()
+		defer func() {
+			tel.tel.Span(trace, "edge-fetch", "edge:"+req.Host,
+				start, s.env.Now().Sub(start), "result="+result)
+		}()
+	}
 	s.mu.Lock()
 	if e, ok := s.cache[obj.URL]; ok && s.env.Now().Before(e.expiry) {
 		s.Hits++
 		s.mu.Unlock()
+		result = "hit"
+		tel.lookup(true)
 		if inm := req.Get("If-None-Match"); inm != "" && inm == e.etag {
 			resp := httplite.NewResponse(304, nil)
 			resp.Set("ETag", e.etag)
@@ -156,13 +185,26 @@ func (s *EdgeCacheServer) ServeHTTP(req *httplite.Request) *httplite.Response {
 	}
 	s.Misses++
 	s.mu.Unlock()
-	origin, err := s.client.Get(s.origin, obj.Domain(), obj.Path())
+	tel.lookup(false)
+	// Fetch through to the origin, passing the trace along so its span
+	// nests under this edge-fetch.
+	originReq := httplite.NewRequest("GET", obj.Domain(), obj.Path())
+	if trace != 0 {
+		originReq.Set(telemetry.TraceHeader, trace.String())
+	}
+	fillStart := s.env.Now()
+	origin, err := s.client.Do(s.origin, originReq)
+	if trace != 0 && tel != nil {
+		tel.tel.Span(trace, "origin-fetch", "edge:"+req.Host,
+			fillStart, s.env.Now().Sub(fillStart), "url="+obj.URL)
+	}
 	if err != nil {
 		return httplite.NewResponse(502, []byte(err.Error()))
 	}
 	if origin.Status != 200 {
 		return origin
 	}
+	tel.fill()
 	etag := origin.Get("ETag")
 	version, _ := coherence.ParseETag(etag)
 	s.mu.Lock()

@@ -1,0 +1,65 @@
+package objstore
+
+import (
+	"apecache/internal/telemetry"
+)
+
+// edgeTel holds the edge server's registered instruments; nil (server
+// not instrumented) makes every hook a no-op.
+type edgeTel struct {
+	tel          *telemetry.Telemetry
+	hits, misses *telemetry.Counter
+	originFills  *telemetry.Counter
+}
+
+func (t *edgeTel) lookup(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.hits.Inc()
+	} else {
+		t.misses.Inc()
+	}
+}
+
+func (t *edgeTel) fill() {
+	if t != nil {
+		t.originFills.Inc()
+	}
+}
+
+// Instrument registers the edge cache's metrics and enables span
+// recording for traced requests.
+func (s *EdgeCacheServer) Instrument(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	m := tel.Metrics
+	et := &edgeTel{
+		tel:         tel,
+		hits:        m.LabeledCounter("edge_cache_lookups_total", telemetry.LabelPair("result", "hit"), "edge cache lookups by result"),
+		misses:      m.LabeledCounter("edge_cache_lookups_total", telemetry.LabelPair("result", "miss"), "edge cache lookups by result"),
+		originFills: m.Counter("edge_origin_fills_total", "fetch-throughs to the origin"),
+	}
+	m.GaugeFunc("edge_cache_entries", "objects resident on the edge", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.cache))
+	})
+	s.mu.Lock()
+	s.tel = et
+	s.mu.Unlock()
+}
+
+// Instrument registers the origin's request counter and enables span
+// recording.
+func (s *OriginServer) Instrument(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tel = tel
+	s.requests = tel.Metrics.Counter("origin_requests_total", "objects served by the origin")
+	s.mu.Unlock()
+}

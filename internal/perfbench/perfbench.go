@@ -103,6 +103,7 @@ func Run(cfg Config) (*Report, error) {
 	r.benchAdmission(iters / 10)
 	r.benchCodec(iters)
 	r.benchFreq(iters)
+	r.benchTelemetry(iters)
 
 	if !cfg.Quick {
 		if err := r.runSweeps(cfg); err != nil {

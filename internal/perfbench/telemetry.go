@@ -1,0 +1,70 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"apecache/internal/cachepolicy"
+	"apecache/internal/objstore"
+	"apecache/internal/telemetry"
+	"apecache/internal/vclock"
+)
+
+// TelemetryOverheadGate is the acceptance ceiling (in percent) on the
+// hot-path cost the telemetry instruments may add. The CI smoke step
+// fails the build when the measured overhead crosses it.
+const TelemetryOverheadGate = 5.0
+
+// telemetryRounds is how many interleaved off/on rounds the overhead
+// micro runs; min-of-rounds suppresses scheduler noise, which on this
+// path is larger than the effect being measured.
+const telemetryRounds = 5
+
+// benchTelemetry measures the representative AP request path — the
+// DNS-Cache domain scan plus the object fetch — on an uninstrumented
+// store and on an identically populated store with the full metrics
+// registry attached, and records the relative overhead. The instruments
+// add one atomic increment to Get and nothing to the read-side scans;
+// gauges and per-app reports cost only at exposition time.
+func (r *Report) benchTelemetry(iters int) {
+	const residents, domains = 256, 8
+	build := func() (*cachepolicy.Store, []string) {
+		s := cachepolicy.NewStore(&vclock.Real{}, 1<<30, 1<<20, cachepolicy.NewPACM(), nil)
+		urls := make([]string, 0, residents)
+		for i := 0; i < residents; i++ {
+			url := fmt.Sprintf("http://app%d.example/obj/%d", i%domains, i)
+			obj := &objstore.Object{URL: url, App: fmt.Sprintf("app%d", i%domains), Size: 1 << 10, TTL: time.Hour, Priority: 1 + i%3}
+			if err := s.Put(obj, make([]byte, obj.Size), 10*time.Millisecond); err != nil {
+				panic(err)
+			}
+			urls = append(urls, url)
+		}
+		return s, urls
+	}
+	off, urls := build()
+	on, _ := build()
+	on.Instrument(telemetry.New(&vclock.Real{}), "bench")
+
+	op := func(s *cachepolicy.Store) func(int) {
+		return func(i int) {
+			s.KnownHashesForDomain(fmt.Sprintf("app%d.example", i%domains))
+			s.Get(urls[i%len(urls)])
+		}
+	}
+	offNs, onNs := math.Inf(1), math.Inf(1)
+	for round := 0; round < telemetryRounds; round++ {
+		offNs = math.Min(offNs, timeOp(iters, op(off)))
+		onNs = math.Min(onNs, timeOp(iters, op(on)))
+	}
+
+	r.Micros = append(r.Micros,
+		Micro{Name: "telemetry/request-path/off", NsPerOp: offNs, Note: "KnownHashesForDomain + Get, uninstrumented store (min of interleaved rounds)"},
+		Micro{Name: "telemetry/request-path/on", NsPerOp: onNs, Note: "same path with the metrics registry attached"},
+	)
+	r.Invariants = append(r.Invariants, Invariant{
+		Name:  "telemetry-overhead-pct",
+		Value: round2((onNs - offNs) / offNs * 100),
+		Note:  fmt.Sprintf("hot-path cost added by instrumentation, percent (acceptance gate: < %g)", TelemetryOverheadGate),
+	})
+}

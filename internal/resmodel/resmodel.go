@@ -82,15 +82,23 @@ type Router struct {
 	lastSample time.Time
 }
 
+// maxUtilPoints bounds the stored utilization points: long-running
+// realnet daemons sample forever, and Mean/Max stay exact under the
+// series' stride decimation.
+const maxUtilPoints = 4096
+
 // NewRouter builds a model with the given costs.
 func NewRouter(clock Clock, costs Costs) *Router {
-	return &Router{
+	r := &Router{
 		clock:      clock,
 		costs:      costs,
 		flows:      make(map[int]time.Time),
 		flowTTL:    30 * time.Second,
 		lastSample: clock.Now(),
 	}
+	r.CPU.SetMaxPoints(maxUtilPoints)
+	r.Mem.SetMaxPoints(maxUtilPoints)
+	return r
 }
 
 // EnableAPE marks the APE-CACHE runtime resident (adds its code/runtime

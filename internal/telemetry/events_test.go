@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogFormatAndRing(t *testing.T) {
+	l := NewEventLog(4)
+	ts := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	l.Emit(ts, "evict", "url", "http://a/b", "cause", "capacity", "bytes", 1024)
+	lines := l.Recent(10)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	want := "t=2024-05-01T12:00:00Z event=evict url=http://a/b cause=capacity bytes=1024"
+	if lines[0] != want {
+		t.Errorf("line = %q\nwant %q", lines[0], want)
+	}
+
+	// Values with spaces or quotes get quoted.
+	l.Emit(ts, "note", "msg", `hello "world" x`)
+	lines = l.Recent(1)
+	if !strings.Contains(lines[0], `msg="hello \"world\" x"`) {
+		t.Errorf("quoting missing: %q", lines[0])
+	}
+
+	for i := 0; i < 10; i++ {
+		l.Emit(ts, "spin", "i", i)
+	}
+	if got := len(l.Recent(100)); got != 4 {
+		t.Errorf("ring kept %d lines, want 4", got)
+	}
+	if l.Total() != 12 {
+		t.Errorf("Total = %d, want 12", l.Total())
+	}
+	got := l.Recent(2)
+	if !strings.HasSuffix(got[1], "i=9") || !strings.HasSuffix(got[0], "i=8") {
+		t.Errorf("Recent order wrong: %v", got)
+	}
+}
+
+func TestNilEventLogSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(time.Time{}, "x")
+	if l.Recent(1) != nil || l.Total() != 0 {
+		t.Error("nil event log returned data")
+	}
+}

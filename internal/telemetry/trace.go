@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one client request end to end. It is allocated at
+// the client, piggybacked on the DNS-Cache query (an extra Type-300 RR
+// with class ClassTrace in dnswire) and on HTTP hops via the
+// TraceHeader, and stamped on every span the request produces. Zero
+// means "not sampled": span recording for a zero ID is a no-op.
+type TraceID uint64
+
+// String renders the ID as 16 hex digits, the wire form used in the
+// X-Ape-Trace header.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// ParseTraceID parses the hex form; it accepts any non-empty hex string
+// up to 16 digits.
+func ParseTraceID(s string) (TraceID, bool) {
+	if s == "" || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return TraceID(v), true
+}
+
+// TraceHeader carries the trace ID on HTTP hops (AP fetch, delegation,
+// edge fetch-through to the origin).
+const TraceHeader = "x-ape-trace"
+
+// Span is one timed stage of a request: dns-lookup and client-get at
+// the client, ap-dns / ap-cache / delegation at the AP, edge-fetch at
+// the edge, origin-fetch at the origin fetch-through.
+type Span struct {
+	Trace    TraceID       `json:"-"`
+	TraceHex string        `json:"trace"`
+	Name     string        `json:"name"`
+	Node     string        `json:"node"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"dur_ns"`
+	Detail   string        `json:"detail,omitempty"`
+}
+
+// Tracer allocates sampled trace IDs and stores finished spans in a
+// fixed ring buffer. All methods are safe on a nil receiver and for
+// concurrent use. Timestamps come from the caller (env.Now), so spans
+// are consistent under both simnet virtual time and realnet wall time.
+type Tracer struct {
+	sampleEvery atomic.Int64
+	seq         atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []Span
+	next   int
+	stored int
+}
+
+// DefaultSpanCapacity is the ring size used by NewTracer.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer storing up to capacity spans (the default
+// when capacity <= 0) and sampling every request.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	t := &Tracer{ring: make([]Span, capacity)}
+	t.sampleEvery.Store(1)
+	return t
+}
+
+// SetSampleEvery samples one request in n (1 = every request, 0 or
+// negative disables tracing).
+func (t *Tracer) SetSampleEvery(n int) {
+	if t != nil {
+		t.sampleEvery.Store(int64(n))
+	}
+}
+
+// NewTrace allocates the next trace ID, or zero when the request falls
+// outside the sampling rate. The sequence counter is a plain atomic, so
+// allocation order — and therefore which requests get sampled — is
+// deterministic under single-threaded simnet scheduling.
+func (t *Tracer) NewTrace() TraceID {
+	if t == nil {
+		return 0
+	}
+	every := t.sampleEvery.Load()
+	if every <= 0 {
+		return 0
+	}
+	seq := t.seq.Add(1)
+	if (seq-1)%uint64(every) != 0 {
+		return 0
+	}
+	return TraceID(splitmix64(seq))
+}
+
+// splitmix64 scrambles the sequence number so IDs look random on the
+// wire while staying deterministic for a given allocation order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // zero is reserved for "unsampled"
+	}
+	return x
+}
+
+// Record stores one finished span. A zero trace ID or nil tracer is a
+// no-op, so unsampled requests never touch the ring lock.
+func (t *Tracer) Record(s Span) {
+	if t == nil || s.Trace == 0 {
+		return
+	}
+	s.TraceHex = s.Trace.String()
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.stored < len(t.ring) {
+		t.stored++
+	}
+	t.mu.Unlock()
+}
+
+// Get returns every stored span of one trace, ordered by start time
+// (ties keep ring order, i.e. recording order).
+func (t *Tracer) Get(id TraceID) []Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	var out []Span
+	t.mu.Lock()
+	for i := 0; i < t.stored; i++ {
+		idx := (t.next - t.stored + i + len(t.ring)) % len(t.ring)
+		if t.ring[idx].Trace == id {
+			out = append(out, t.ring[idx])
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Recent returns up to n of the most recently recorded spans, newest
+// last.
+func (t *Tracer) Recent(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.stored {
+		n = t.stored
+	}
+	out := make([]Span, 0, n)
+	for i := t.stored - n; i < t.stored; i++ {
+		idx := (t.next - t.stored + i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// TraceSummary describes one trace currently held in the ring.
+type TraceSummary struct {
+	Trace string `json:"trace"`
+	Spans int    `json:"spans"`
+}
+
+// Traces lists the distinct traces in the ring, oldest first.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	counts := make(map[TraceID]int)
+	order := make([]TraceID, 0, 16)
+	for i := 0; i < t.stored; i++ {
+		idx := (t.next - t.stored + i + len(t.ring)) % len(t.ring)
+		id := t.ring[idx].Trace
+		if counts[id] == 0 {
+			order = append(order, id)
+		}
+		counts[id]++
+	}
+	t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, TraceSummary{Trace: id.String(), Spans: counts[id]})
+	}
+	return out
+}

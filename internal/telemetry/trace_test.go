@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampleEvery(4)
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		if tr.NewTrace() != 0 {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 16 with 1-in-4 sampling", sampled)
+	}
+	tr.SetSampleEvery(0)
+	if tr.NewTrace() != 0 {
+		t.Error("sampling disabled but NewTrace returned an ID")
+	}
+}
+
+func TestTracerRecordGetAndRingBound(t *testing.T) {
+	tr := NewTracer(8)
+	id := tr.NewTrace()
+	if id == 0 {
+		t.Fatal("first trace not sampled at rate 1")
+	}
+	base := time.Unix(100, 0)
+	tr.Record(Span{Trace: id, Name: "dns-lookup", Node: "client", Start: base, Duration: time.Millisecond})
+	tr.Record(Span{Trace: id, Name: "delegation", Node: "ap", Start: base.Add(time.Millisecond), Duration: 2 * time.Millisecond})
+	// Recording out of chronological order must not matter.
+	tr.Record(Span{Trace: id, Name: "client-get", Node: "client", Start: base.Add(-time.Millisecond), Duration: 5 * time.Millisecond})
+
+	spans := tr.Get(id)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "client-get" || spans[1].Name != "dns-lookup" || spans[2].Name != "delegation" {
+		t.Errorf("spans not in start order: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[0].TraceHex != id.String() {
+		t.Errorf("TraceHex = %q, want %q", spans[0].TraceHex, id.String())
+	}
+
+	// Overflow the ring: the oldest spans fall out, size stays bounded.
+	other := tr.NewTrace()
+	for i := 0; i < 20; i++ {
+		tr.Record(Span{Trace: other, Name: "x", Start: base.Add(time.Duration(i))})
+	}
+	if got := len(tr.Get(other)); got != 8 {
+		t.Errorf("ring kept %d spans, want capacity 8", got)
+	}
+	if got := len(tr.Get(id)); got != 0 {
+		t.Errorf("evicted trace still has %d spans", got)
+	}
+	sums := tr.Traces()
+	if len(sums) != 1 || sums[0].Spans != 8 {
+		t.Errorf("Traces() = %+v", sums)
+	}
+	if got := len(tr.Recent(3)); got != 3 {
+		t.Errorf("Recent(3) returned %d spans", got)
+	}
+}
+
+func TestTracerDeterministicIDs(t *testing.T) {
+	a, b := NewTracer(4), NewTracer(4)
+	for i := 0; i < 5; i++ {
+		if x, y := a.NewTrace(), b.NewTrace(); x != y {
+			t.Fatalf("allocation %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := TraceID(0xdeadbeef)
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Errorf("round trip failed: %v %v", got, ok)
+	}
+	for _, bad := range []string{"", "zz", "00000000000000000", "0"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NewTrace() != 0 {
+		t.Error("nil tracer sampled")
+	}
+	tr.Record(Span{Trace: 1})
+	tr.SetSampleEvery(2)
+	if tr.Get(1) != nil || tr.Recent(5) != nil || tr.Traces() != nil {
+		t.Error("nil tracer returned data")
+	}
+}

@@ -1,0 +1,133 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"apecache/internal/httplite"
+	"apecache/internal/telemetry"
+	"apecache/internal/vclock"
+	"apecache/internal/workload"
+)
+
+// spanNames collects the set of span names in a trace.
+func spanNames(spans []telemetry.Span) map[string]int {
+	out := make(map[string]int)
+	for _, s := range spans {
+		out[s.Name]++
+	}
+	return out
+}
+
+// TestTracePropagation drives one request end to end through the simnet
+// topology and checks that the trace allocated at the client accumulates
+// spans from every tier it crossed: client → AP (DNS + delegation) →
+// edge → origin on the cold path, and client → AP cache on the warm one.
+func TestTracePropagation(t *testing.T) {
+	suite := workload.Generate(workload.GeneratorConfig{NumApps: 4, Seed: 3})
+	sim := vclock.NewSim(time.Time{})
+	tel := telemetry.New(sim)
+	var cold, warm []telemetry.Span
+	sim.Run("main", func() {
+		tb, err := New(sim, SystemAPECache, Config{Suite: suite, Seed: 11, Telemetry: tel})
+		if err != nil {
+			t.Errorf("New: %v", err)
+			return
+		}
+		app := suite.Apps[0]
+		obj := app.Objects()[0]
+		fetcher := tb.FetcherFor(app)
+
+		// Poke a hole in the prepopulated edge so the delegation falls
+		// through to the origin and the trace picks up origin-side spans.
+		tb.Edge.Invalidate(obj.URL)
+
+		if _, err := fetcher.Get(obj.URL); err != nil {
+			t.Errorf("cold get: %v", err)
+			return
+		}
+		// Past the client's flag TTL: the second get re-queries DNS, sees
+		// Cache-Hit, and fetches from the AP cache.
+		sim.Sleep(2 * time.Second)
+		if _, err := fetcher.Get(obj.URL); err != nil {
+			t.Errorf("warm get: %v", err)
+			return
+		}
+
+		traces := tel.Tracer.Traces()
+		if len(traces) != 2 {
+			t.Errorf("traces = %+v, want 2", traces)
+			return
+		}
+		coldID, _ := telemetry.ParseTraceID(traces[0].Trace)
+		warmID, _ := telemetry.ParseTraceID(traces[1].Trace)
+		cold = tel.Tracer.Get(coldID)
+		warm = tel.Tracer.Get(warmID)
+
+		// The AP's exposition endpoints answer over the simulated network.
+		client := httplite.NewClient(tb.Net.Node(NodeClient))
+		resp, err := client.Get(tb.AP.HTTPAddr(), tb.AP.HTTPAddr().Host, "/metrics")
+		if err != nil || resp.Status != 200 {
+			t.Errorf("/metrics over simnet: %v (status %v)", err, resp)
+			return
+		}
+		if !strings.Contains(string(resp.Body), "apcache_delegations_total 1") {
+			t.Errorf("/metrics missing delegation counter:\n%s", resp.Body)
+		}
+		resp, err = client.Get(tb.AP.HTTPAddr(), tb.AP.HTTPAddr().Host, "/trace?id="+traces[0].Trace)
+		if err != nil || resp.Status != 200 {
+			t.Errorf("/trace over simnet: %v (status %v)", err, resp)
+			return
+		}
+		if !strings.Contains(string(resp.Body), `"delegation"`) {
+			t.Errorf("/trace body missing delegation span:\n%s", resp.Body)
+		}
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if err := sim.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	coldNames := spanNames(cold)
+	for _, want := range []string{"client-get", "dns-lookup", "ap-dns", "delegation", "edge-fetch", "origin-fetch", "origin-serve"} {
+		if coldNames[want] == 0 {
+			t.Errorf("cold trace missing %q span; have %v", want, coldNames)
+		}
+	}
+	warmNames := spanNames(warm)
+	for _, want := range []string{"client-get", "dns-lookup", "ap-dns", "ap-cache"} {
+		if warmNames[want] == 0 {
+			t.Errorf("warm trace missing %q span; have %v", want, warmNames)
+		}
+	}
+	if warmNames["delegation"] != 0 {
+		t.Errorf("warm trace delegated; spans %v", warmNames)
+	}
+
+	// Spans are on virtual time: ordered, and the client-get envelope
+	// covers the delegation nested inside it.
+	var clientGet, delegation *telemetry.Span
+	for i := range cold {
+		switch cold[i].Name {
+		case "client-get":
+			clientGet = &cold[i]
+		case "delegation":
+			delegation = &cold[i]
+		}
+	}
+	if clientGet != nil && delegation != nil {
+		if delegation.Start.Before(clientGet.Start) {
+			t.Error("delegation span starts before its client-get envelope")
+		}
+		if delegation.Duration > clientGet.Duration {
+			t.Errorf("delegation (%v) outlasts client-get (%v)", delegation.Duration, clientGet.Duration)
+		}
+	}
+	for _, s := range warm {
+		if s.Name == "ap-cache" && !strings.Contains(s.Detail, "result=hit") {
+			t.Errorf("ap-cache span detail = %q, want result=hit", s.Detail)
+		}
+	}
+}

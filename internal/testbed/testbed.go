@@ -23,6 +23,7 @@ import (
 	"apecache/internal/metrics"
 	"apecache/internal/objstore"
 	"apecache/internal/simnet"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 	"apecache/internal/wicache"
@@ -108,6 +109,12 @@ type Config struct {
 	// Wi-Cache controller subscribes (and relays to its fleet) whenever
 	// the mode is not off.
 	Coherence coherence.Mode
+	// Telemetry, when set, is shared across every node — client, AP,
+	// edge, origin, controller, hub — so request traces stitch together
+	// across the whole topology. Leave nil for experiment runs: client
+	// tracing adds a trace RR to DNS-Cache queries and a header to HTTP
+	// hops, which changes wire sizes and therefore simulated timings.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) applyDefaults() {
@@ -141,6 +148,9 @@ type Testbed struct {
 	// Hub is the invalidation bus colocated with the edge server (always
 	// present; it has subscribers only when Config.Coherence is not off).
 	Hub *coherence.Hub
+	// Telemetry is the shared bundle from Config.Telemetry (nil when the
+	// testbed runs uninstrumented).
+	Telemetry *telemetry.Telemetry
 
 	cfg Config
 	rng *rand.Rand
@@ -156,11 +166,12 @@ type Testbed struct {
 func New(sim *vclock.Sim, system System, cfg Config) (*Testbed, error) {
 	cfg.applyDefaults()
 	tb := &Testbed{
-		Sim:    sim,
-		System: system,
-		Book:   dnsd.NewAddrBook(),
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed + 1000)),
+		Sim:       sim,
+		System:    system,
+		Book:      dnsd.NewAddrBook(),
+		Telemetry: cfg.Telemetry,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1000)),
 	}
 
 	net := simnet.New(sim, cfg.Seed)
@@ -227,17 +238,20 @@ func (tb *Testbed) startDNS() error {
 // startServers brings up origin, edge, and the system under test.
 func (tb *Testbed) startServers() error {
 	tb.Origin = objstore.NewOriginServer(tb.Sim, tb.cfg.Suite.Catalog)
+	tb.Origin.Instrument(tb.cfg.Telemetry)
 	if _, err := tb.Origin.Run(tb.Net.Node(NodeOrigin), 80); err != nil {
 		return fmt.Errorf("testbed: %w", err)
 	}
 	tb.Edge = objstore.NewEdgeCacheServer(tb.Sim, tb.Net.Node(NodeEdge), tb.cfg.Suite.Catalog,
 		transport.Addr{Host: NodeOrigin, Port: 80})
+	tb.Edge.Instrument(tb.cfg.Telemetry)
 	// §V-A: "the edge server's cache capacity was ample enough to store
 	// all cacheable objects" — start warm.
 	tb.Edge.Prepopulate()
 	// The coherence hub shares the edge port and purges the colocated edge
 	// copy before relaying, so revalidating caches always see fresh bytes.
 	tb.Hub = coherence.NewHub(tb.Sim, tb.Net.Node(NodeEdge), func(m coherence.Msg) { tb.Edge.Invalidate(m.URL) })
+	tb.Hub.Instrument(tb.cfg.Telemetry)
 	edgeL, err := tb.Net.Node(NodeEdge).Listen(80)
 	if err != nil {
 		return fmt.Errorf("testbed: edge: %w", err)
@@ -269,6 +283,7 @@ func (tb *Testbed) startServers() error {
 			Resources:          tb.cfg.Resources,
 			DisableDummyIP:     tb.cfg.DisableDummyIP,
 			Coherence:          tb.cfg.Coherence,
+			Telemetry:          tb.cfg.Telemetry,
 		})
 		if err := tb.AP.Start(); err != nil {
 			return fmt.Errorf("testbed: %w", err)
@@ -276,12 +291,14 @@ func (tb *Testbed) startServers() error {
 	case SystemWiCache:
 		tb.WiController = wicache.NewController(tb.Sim, tb.Net.Node(NodeController))
 		tb.WiController.ProcessingDelay = 500 * time.Microsecond
+		tb.WiController.Instrument(tb.cfg.Telemetry)
 		if err := tb.WiController.Start(wicache.DefaultControllerPort); err != nil {
 			return fmt.Errorf("testbed: %w", err)
 		}
 		tb.WiAP = wicache.NewAPServer(tb.Sim, tb.Net.Node(NodeAP), NodeAP, tb.cfg.CacheCapacity,
 			transport.Addr{Host: NodeEdge, Port: 80}, tb.WiController.Addr())
 		tb.WiAP.ProcessingDelay = 900 * time.Microsecond
+		tb.WiAP.Instrument(tb.cfg.Telemetry)
 		if err := tb.WiAP.Start(wicache.DefaultAPPort); err != nil {
 			return fmt.Errorf("testbed: %w", err)
 		}
@@ -377,13 +394,14 @@ func (tb *Testbed) FetcherFor(app *appmodel.App) appmodel.Fetcher {
 			}
 		}
 		c := apeclient.New(apeclient.Config{
-			Env:      tb.Sim,
-			Host:     tb.Net.Node(NodeClient),
-			Registry: reg,
-			APDNS:    tb.AP.DNSAddr(),
-			APHTTP:   tb.AP.HTTPAddr(),
-			Book:     tb.Book,
-			Rng:      rand.New(rand.NewSource(tb.cfg.Seed + int64(len(tb.apeClients)) + 7)),
+			Env:       tb.Sim,
+			Host:      tb.Net.Node(NodeClient),
+			Registry:  reg,
+			APDNS:     tb.AP.DNSAddr(),
+			APHTTP:    tb.AP.HTTPAddr(),
+			Book:      tb.Book,
+			Rng:       rand.New(rand.NewSource(tb.cfg.Seed + int64(len(tb.apeClients)) + 7)),
+			Telemetry: tb.cfg.Telemetry,
 		})
 		tb.apeClients = append(tb.apeClients, c)
 		return c
@@ -397,11 +415,12 @@ func (tb *Testbed) FetcherFor(app *appmodel.App) appmodel.Fetcher {
 		return c
 	case SystemEdgeCache:
 		c := edgecache.New(edgecache.Config{
-			Env:  tb.Sim,
-			Host: tb.Net.Node(NodeClient),
-			DNS:  tb.AP.DNSAddr(),
-			Book: tb.Book,
-			Rng:  rand.New(rand.NewSource(tb.cfg.Seed + int64(len(tb.edgeClients)) + 13)),
+			Env:       tb.Sim,
+			Host:      tb.Net.Node(NodeClient),
+			DNS:       tb.AP.DNSAddr(),
+			Book:      tb.Book,
+			Rng:       rand.New(rand.NewSource(tb.cfg.Seed + int64(len(tb.edgeClients)) + 13)),
+			Telemetry: tb.cfg.Telemetry,
 		})
 		tb.edgeClients = append(tb.edgeClients, c)
 		return c

@@ -1,0 +1,33 @@
+package wicache
+
+import (
+	"apecache/internal/telemetry"
+)
+
+// Instrument registers the controller's counters and attaches the
+// telemetry bundle; call it before Start so the exposition endpoints
+// (/metrics, /debug/vars, /debug/pprof, /trace, /events) are mounted on
+// the controller's mux.
+func (c *Controller) Instrument(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	c.tel = tel
+	m := tel.Metrics
+	c.locatesC = m.Counter("wicache_locates_total", "client locate requests handled")
+	c.purgesC = m.Counter("wicache_controller_purges_total", "bus purge messages handled")
+	c.relaysC = m.Counter("wicache_purge_relays_total", "per-AP purge deliveries ordered")
+	c.fillOrdersC = m.Counter("wicache_fill_orders_total", "background AP fills ordered on locate miss")
+}
+
+// Instrument registers the AP's counters and instruments its LRU store
+// under the wicache_ap metric prefix.
+func (s *APServer) Instrument(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	s.store.Instrument(tel, "wicache_ap")
+	m := tel.Metrics
+	s.fillsC = m.Counter("wicache_ap_fills_total", "controller-ordered fills stored")
+	s.purgesC = m.Counter("wicache_ap_purges_total", "relayed purges applied")
+}

@@ -21,6 +21,7 @@ import (
 	"apecache/internal/httplite"
 	"apecache/internal/metrics"
 	"apecache/internal/objstore"
+	"apecache/internal/telemetry"
 	"apecache/internal/transport"
 	"apecache/internal/vclock"
 )
@@ -69,6 +70,12 @@ type Controller struct {
 	// deliveries ordered. Read them only from quiescent code.
 	Purges      int
 	PurgeRelays int
+
+	tel         *telemetry.Telemetry
+	locatesC    *telemetry.Counter
+	purgesC     *telemetry.Counter
+	relaysC     *telemetry.Counter
+	fillOrdersC *telemetry.Counter
 }
 
 // NewController builds a controller.
@@ -104,6 +111,7 @@ func (c *Controller) Start(port uint16) error {
 	mux.HandleFunc("/locate", c.handleLocate)
 	mux.HandleFunc("/report", c.handleReport)
 	mux.HandleFunc(coherence.DefaultPurgePath, c.handlePurge)
+	c.tel.Register(mux)
 	srv := httplite.NewServer(c.env, mux)
 	c.env.Go("wicache.controller", func() { srv.Serve(l) })
 	return nil
@@ -126,11 +134,13 @@ func (c *Controller) handlePurge(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(400, []byte(err.Error()))
 	}
 	c.Purges++
+	c.purgesC.Inc()
 	delete(c.locations, msg.URL)
 	body, _ := json.Marshal(msg)
 	for name, addr := range c.apAddrs {
 		name, addr := name, addr
 		c.PurgeRelays++
+		c.relaysC.Inc()
 		c.env.Go("wicache.purge-relay", func() {
 			preq := httplite.NewRequest("POST", name, coherence.DefaultPurgePath)
 			preq.Body = body
@@ -163,6 +173,7 @@ func (c *Controller) handleLocate(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(400, []byte("bad locate body"))
 	}
 	c.Locates++
+	c.locatesC.Inc()
 	basic := dnswire.BasicURL(lr.URL)
 	if apName, ok := c.locations[basic]; ok {
 		serve := c.apServe[apName]
@@ -173,6 +184,7 @@ func (c *Controller) handleLocate(req *httplite.Request) *httplite.Response {
 	// Miss: order a background fill at the client's home AP (falling
 	// back to any registered AP) so the next nearby request hits.
 	if fill, ok := c.fillTarget(lr.HomeAP); ok {
+		c.fillOrdersC.Inc()
 		c.env.Go("wicache.fill-order", func() {
 			freq := httplite.NewRequest("POST", fill.Host, "/fill")
 			body, _ := json.Marshal(lr)
@@ -229,6 +241,9 @@ type APServer struct {
 	// applied. Read them only from quiescent code.
 	Fills  int
 	Purges int
+
+	fillsC  *telemetry.Counter
+	purgesC *telemetry.Counter
 	// mu guards stopped (the sweeper checks it from its own task).
 	mu      sync.Mutex
 	stopped bool
@@ -313,6 +328,7 @@ func (s *APServer) handlePurge(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(400, []byte(err.Error()))
 	}
 	s.Purges++
+	s.purgesC.Inc()
 	s.store.Purge(msg.URL, msg.Version, msg.Gone, false)
 	return httplite.NewResponse(200, nil)
 }
@@ -372,6 +388,7 @@ func (s *APServer) handleFill(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(200, nil) // oversized: relayed nothing, not stored
 	}
 	s.Fills++
+	s.fillsC.Inc()
 
 	after := residentURLs(s.store)
 	r := report{AP: s.name, Add: []string{basic}}
