@@ -12,6 +12,8 @@
 //	apectl metrics -addr 127.0.0.1:18080 -grep apcache_
 //	apectl trace -addr 127.0.0.1:18080          # list traces in the span ring
 //	apectl trace -addr 127.0.0.1:18080 3fb1c2d4e5f60708   # spans of one trace
+//	apectl fleet -addr 127.0.0.1:9090           # controller fleet view: health, latency, alerts
+//	apectl alerts -addr 127.0.0.1:9090          # SLO alert states and transition history
 //	apectl purge -hub 127.0.0.1:8080 \
 //	       -url http://api.demo.example/obj0 -version 1   # push a purge
 //	apectl purge -hub 127.0.0.1:8080 \
@@ -78,6 +80,10 @@ func main() {
 		err = runMetrics(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "trace":
 		err = runTrace(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "fleet":
+		err = runFleet(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "alerts":
+		err = runAlerts(os.Args[2:])
 	default:
 		ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
 		raw := flag.Bool("raw", false, "print the raw JSON status")
@@ -220,6 +226,157 @@ func runTrace(args []string) error {
 	for _, s := range spans {
 		fmt.Printf("%-10s  %-12s  %-14s  %-18s  %s\n",
 			"+"+s.Start.Sub(base).String(), s.Duration.String(), s.Name, s.Node, s.Detail)
+	}
+	return nil
+}
+
+// fleetView mirrors wicache.FleetView for decoding.
+type fleetView struct {
+	Now time.Time `json:"now"`
+	APs []struct {
+		AP           string             `json:"ap"`
+		Score        float64            `json:"score"`
+		Status       string             `json:"status"`
+		HitRatio     float64            `json:"hit_ratio"`
+		HitRatioLong float64            `json:"hit_ratio_long"`
+		StalePerMin  float64            `json:"stale_serves_per_min"`
+		DelegFail    float64            `json:"deleg_fail_ratio"`
+		SnapshotAge  float64            `json:"snapshot_age_sec"`
+		Seq          uint64             `json:"seq"`
+		Penalties    map[string]float64 `json:"penalties"`
+	} `json:"aps"`
+	Latency []struct {
+		Metric    string  `json:"metric"`
+		Count     uint64  `json:"count"`
+		MeanMs    float64 `json:"mean_ms"`
+		P50Ms     float64 `json:"p50_ms"`
+		P99Ms     float64 `json:"p99_ms"`
+		Exemplars []struct {
+			Trace   string  `json:"trace"`
+			Node    string  `json:"node"`
+			Span    string  `json:"span"`
+			Seconds float64 `json:"seconds"`
+		} `json:"exemplars"`
+	} `json:"latency"`
+	Alerts []alertStatus `json:"alerts"`
+}
+
+// alertStatus mirrors wicache.AlertStatus for decoding.
+type alertStatus struct {
+	SLO       string    `json:"slo"`
+	Scope     string    `json:"scope"`
+	State     string    `json:"state"`
+	Since     time.Time `json:"since"`
+	ShortBurn float64   `json:"short_burn"`
+	LongBurn  float64   `json:"long_burn"`
+}
+
+// runFleet fetches the controller's /fleet view and renders per-AP
+// health, fleet-merged latency distributions with exemplar trace IDs,
+// and the alert summary.
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "controller HTTP endpoint host:port")
+	raw := fs.Bool("raw", false, "print the raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := fetch(*addr, "/fleet")
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	var v fleetView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("decode fleet view: %w", err)
+	}
+	var firing int
+	for _, a := range v.Alerts {
+		if a.State == "firing" {
+			firing++
+		}
+	}
+	fmt.Printf("fleet @ %s — %d nodes, %d alerts firing\n", v.Now.Format(time.RFC3339), len(v.APs), firing)
+	if len(v.APs) > 0 {
+		fmt.Printf("%-18s  %5s  %-8s  %6s  %9s  %9s  %6s  %5s\n",
+			"NODE", "SCORE", "STATUS", "HIT%", "STALE/MIN", "DELEGFAIL", "AGE(s)", "SEQ")
+		for _, h := range v.APs {
+			fmt.Printf("%-18s  %5.0f  %-8s  %6.1f  %9.1f  %9.3f  %6.1f  %5d\n",
+				h.AP, h.Score, h.Status, h.HitRatio*100, h.StalePerMin, h.DelegFail, h.SnapshotAge, h.Seq)
+		}
+	}
+	if len(v.Latency) > 0 {
+		fmt.Printf("\n%-40s  %8s  %9s  %9s  %9s\n", "LATENCY (fleet-merged)", "COUNT", "MEAN(ms)", "P50(ms)", "P99(ms)")
+		for _, l := range v.Latency {
+			fmt.Printf("%-40s  %8d  %9.3f  %9.3f  %9.3f\n", l.Metric, l.Count, l.MeanMs, l.P50Ms, l.P99Ms)
+			for _, ex := range l.Exemplars {
+				fmt.Printf("    exemplar %s  %-14s  %-18s  %.1fms\n", ex.Trace, ex.Span, ex.Node, ex.Seconds*1e3)
+			}
+		}
+	}
+	if len(v.Alerts) > 0 {
+		fmt.Printf("\n%-18s  %-18s  %-7s  %6s  %6s\n", "SLO", "SCOPE", "STATE", "SHORT", "LONG")
+		for _, a := range v.Alerts {
+			fmt.Printf("%-18s  %-18s  %-7s  %6.2f  %6.2f\n", a.SLO, a.Scope, a.State, a.ShortBurn, a.LongBurn)
+		}
+	}
+	return nil
+}
+
+// runAlerts fetches /alerts and renders the current states plus the
+// retained fire/resolve history.
+func runAlerts(args []string) error {
+	fs := flag.NewFlagSet("alerts", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "controller HTTP endpoint host:port")
+	raw := fs.Bool("raw", false, "print the raw JSON")
+	firingOnly := fs.Bool("firing", false, "only show alerts currently firing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := fetch(*addr, "/alerts")
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	var payload struct {
+		Alerts  []alertStatus `json:"alerts"`
+		History []struct {
+			Time      time.Time `json:"t"`
+			SLO       string    `json:"slo"`
+			Scope     string    `json:"scope"`
+			Event     string    `json:"event"`
+			ShortBurn float64   `json:"short_burn"`
+			LongBurn  float64   `json:"long_burn"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		return fmt.Errorf("decode alerts: %w", err)
+	}
+	shown := 0
+	fmt.Printf("%-18s  %-18s  %-7s  %6s  %6s  %s\n", "SLO", "SCOPE", "STATE", "SHORT", "LONG", "SINCE")
+	for _, a := range payload.Alerts {
+		if *firingOnly && a.State != "firing" {
+			continue
+		}
+		shown++
+		fmt.Printf("%-18s  %-18s  %-7s  %6.2f  %6.2f  %s\n",
+			a.SLO, a.Scope, a.State, a.ShortBurn, a.LongBurn, a.Since.Format(time.RFC3339))
+	}
+	if shown == 0 {
+		fmt.Println("(no alerts)")
+	}
+	if len(payload.History) > 0 && !*firingOnly {
+		fmt.Println("\nhistory:")
+		for _, ev := range payload.History {
+			fmt.Printf("%s  %-7s  %-18s  %-18s  short %.2f long %.2f\n",
+				ev.Time.Format(time.RFC3339), ev.Event, ev.SLO, ev.Scope, ev.ShortBurn, ev.LongBurn)
+		}
 	}
 	return nil
 }

@@ -36,15 +36,18 @@ func main() {
 		policy   = flag.String("policy", "pacm", "eviction policy: pacm or lru")
 		cohMode  = flag.String("coherence", "off", "coherence mode: off, invalidate or swr")
 		busFlag  = flag.String("bus", "", "coherence hub host:port (default: the -edge endpoint)")
+		fleet    = flag.String("fleet", "", "fleet controller host:port for telemetry snapshot pushes (empty: disabled)")
+		snapIntv = flag.Duration("snapshot-interval", 10*time.Second, "telemetry snapshot push cadence (with -fleet)")
+		node     = flag.String("node", "", "fleet node name (default ap:<ip>:<http-port>; must be unique per AP)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag); err != nil {
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "aped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus string) error {
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node string) error {
 	upstreamAddr, err := parseAddr(upstream)
 	if err != nil {
 		return fmt.Errorf("bad -upstream: %w", err)
@@ -63,6 +66,17 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 			return fmt.Errorf("bad -bus: %w", err)
 		}
 	}
+	var fleetAddr transport.Addr
+	if fleet != "" {
+		if fleetAddr, err = parseAddr(fleet); err != nil {
+			return fmt.Errorf("bad -fleet: %w", err)
+		}
+		if node == "" {
+			// Several APs can share one host address (loopback demos,
+			// NAT): the HTTP port keeps fleet node names unique.
+			node = fmt.Sprintf("ap:%s:%d", ip, httpPort)
+		}
+	}
 	var policy apecache.CachePolicy
 	switch policyName {
 	case "pacm":
@@ -74,17 +88,20 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	}
 
 	ap := apecache.NewAP(apecache.APConfig{
-		Env:           apecache.RealEnv(),
-		Host:          apecache.NewRealHost(ip),
-		Upstream:      upstreamAddr,
-		EdgeAddr:      edgeAddr,
-		CacheCapacity: cacheMB << 20,
-		Policy:        policy,
-		Rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
-		DNSPort:       dnsPort,
-		HTTPPort:      httpPort,
-		Coherence:     mode,
-		BusAddr:       busAddr,
+		Env:              apecache.RealEnv(),
+		Host:             apecache.NewRealHost(ip),
+		Upstream:         upstreamAddr,
+		EdgeAddr:         edgeAddr,
+		CacheCapacity:    cacheMB << 20,
+		Policy:           policy,
+		Rng:              rand.New(rand.NewSource(time.Now().UnixNano())),
+		DNSPort:          dnsPort,
+		HTTPPort:         httpPort,
+		Coherence:        mode,
+		BusAddr:          busAddr,
+		FleetAddr:        fleetAddr,
+		SnapshotInterval: snapIntv,
+		NodeName:         node,
 	})
 	if err := ap.Start(); err != nil {
 		return err
@@ -93,6 +110,9 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	fmt.Printf("aped: DNS on %s, HTTP on %s, %d MiB %s cache, upstream %s, edge %s, coherence %s\n",
 		ap.DNSAddr(), ap.HTTPAddr(), cacheMB, policyName, upstreamAddr, edgeAddr, mode)
 	fmt.Printf("aped: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", ap.HTTPAddr())
+	if !fleetAddr.IsZero() {
+		fmt.Printf("aped: pushing telemetry snapshots to %s every %s\n", fleetAddr, snapIntv)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

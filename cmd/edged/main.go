@@ -26,6 +26,7 @@ import (
 	"apecache/internal/coherence"
 	"apecache/internal/httplite"
 	"apecache/internal/objstore"
+	"apecache/internal/wicache"
 )
 
 func main() {
@@ -36,15 +37,16 @@ func main() {
 		domains    = flag.String("domains", "api.demo.example", "comma-separated object domains")
 		objects    = flag.Int("objects", 8, "objects per domain")
 		seed       = flag.Int64("seed", 1, "catalog generation seed")
+		fleetPort  = flag.Uint("fleet-port", 0, "TCP port of the fleet observability controller (0: disabled)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*edgePort), uint16(*originPort), strings.Split(*domains, ","), *objects, *seed); err != nil {
+	if err := run(*ip, uint16(*edgePort), uint16(*originPort), uint16(*fleetPort), strings.Split(*domains, ","), *objects, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, edgePort, originPort uint16, domains []string, perDomain int, seed int64) error {
+func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, perDomain int, seed int64) error {
 	env := apecache.RealEnv()
 	host := apecache.NewRealHost(ip)
 	rng := rand.New(rand.NewSource(seed))
@@ -100,6 +102,15 @@ func run(ip string, edgePort, originPort uint16, domains []string, perDomain int
 	fmt.Printf("edged: coherence bus on %s%s (publish) and %s (subscribe)\n",
 		edgeL.Addr(), coherence.PathPublish, coherence.PathSubscribe)
 	fmt.Printf("edged: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", edgeL.Addr())
+	if fleetPort != 0 {
+		ctl := wicache.NewController(env, host)
+		ctl.Instrument(tel)
+		ctl.EnableFleet(wicache.FleetConfig{})
+		if err := ctl.Start(fleetPort); err != nil {
+			return err
+		}
+		fmt.Printf("edged: fleet controller on %s (/fleet, /alerts; APs push with aped -fleet)\n", ctl.Addr())
+	}
 	for _, o := range catalog.All() {
 		fmt.Printf("  %s  (%d KB, prio %d, ttl %v)\n", o.URL, o.Size>>10, o.Priority, o.TTL)
 	}

@@ -97,6 +97,20 @@ type Config struct {
 	// private bundle is created; the testbed shares one bundle across all
 	// nodes so traces stitch together.
 	Telemetry *telemetry.Telemetry
+	// FleetAddr, when set, enables periodic telemetry snapshot pushes
+	// to the fleet controller (the wicache controller's /snapshot
+	// endpoint) so this AP appears in the fleet view. Zero disables
+	// pushing; snapshot traffic is wire-visible, so experiment runs
+	// leave it off.
+	FleetAddr transport.Addr
+	// SnapshotInterval and SnapshotSpans tune the push cadence and the
+	// per-push span budget (telemetry package defaults when zero).
+	SnapshotInterval time.Duration
+	SnapshotSpans    int
+	// NodeName overrides the identity this AP stamps on spans and
+	// snapshots ("ap:<host name>" when empty). Fleet node names must be
+	// unique — set this when several APs share one host address.
+	NodeName string
 }
 
 // AP is a running APE-CACHE access point.
@@ -111,6 +125,7 @@ type AP struct {
 	dnsTCP   transport.Listener
 	httpList transport.Listener
 	started  time.Time
+	pusher   *telemetry.Pusher
 
 	// mu guards the counters and stop flag: DNS and HTTP handlers run on
 	// separate goroutines under the real clock.
@@ -204,6 +219,19 @@ func (ap *AP) Start() error {
 			return fmt.Errorf("apcache: %w", err)
 		}
 	}
+	if !ap.cfg.FleetAddr.IsZero() {
+		p, err := telemetry.NewPusher(telemetry.PushConfig{
+			Env: ap.cfg.Env, Tel: ap.cfg.Telemetry, Node: ap.nodeName(),
+			Host: ap.cfg.Host, Target: ap.cfg.FleetAddr,
+			Interval: ap.cfg.SnapshotInterval, SpanLimit: ap.cfg.SnapshotSpans,
+		})
+		if err != nil {
+			ap.Stop()
+			return fmt.Errorf("apcache: %w", err)
+		}
+		ap.pusher = p
+		p.Start()
+	}
 	return nil
 }
 
@@ -212,6 +240,9 @@ func (ap *AP) Stop() {
 	ap.mu.Lock()
 	ap.stopped = true
 	ap.mu.Unlock()
+	if ap.pusher != nil {
+		ap.pusher.Stop()
+	}
 	if ap.dnsConn != nil {
 		ap.dnsConn.Close()
 	}
@@ -336,8 +367,14 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	}
 	trace, _ := telemetry.ParseTraceID(req.Get(telemetry.TraceHeader))
 	result := "miss"
+	start := ap.cfg.Env.Now()
+	defer func() {
+		if result != "miss" {
+			// Cached-serve latency feeds the fleet's cached-hit SLO.
+			ap.tel.serveSecs.ObserveDuration(ap.cfg.Env.Now().Sub(start))
+		}
+	}()
 	if trace != 0 {
-		start := ap.cfg.Env.Now()
 		defer func() {
 			ap.cfg.Telemetry.Span(trace, "ap-cache", ap.nodeName(),
 				start, ap.cfg.Env.Now().Sub(start), "result="+result)

@@ -16,6 +16,7 @@ type apTel struct {
 	serveHit   *telemetry.Counter
 	serveStale *telemetry.Counter
 	serveMiss  *telemetry.Counter
+	serveSecs  *telemetry.Histogram
 
 	delegations      *telemetry.Counter
 	delegationErrors *telemetry.Counter
@@ -36,6 +37,7 @@ func newAPTel(tel *telemetry.Telemetry, ap *AP) *apTel {
 		serveHit:         m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "hit"), "AP object serves by result"),
 		serveStale:       m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "stale"), "AP object serves by result"),
 		serveMiss:        m.LabeledCounter("apcache_cache_serves_total", telemetry.LabelPair("result", "miss"), "AP object serves by result"),
+		serveSecs:        m.Histogram("apcache_serve_seconds", "cached serve latency, hit and stale serves (virtual time under simnet)", telemetry.DurationBuckets),
 		delegations:      m.Counter("apcache_delegations_total", "edge fetch-throughs completed"),
 		delegationErrors: m.Counter("apcache_delegation_errors_total", "edge fetch-throughs failed"),
 		delegationSecs:   m.Histogram("apcache_delegation_seconds", "edge retrieval latency per delegation (l_d; virtual time under simnet)", telemetry.DurationBuckets),
@@ -54,5 +56,10 @@ func newAPTel(tel *telemetry.Telemetry, ap *AP) *apTel {
 	return t
 }
 
-// nodeName labels this AP's spans.
-func (ap *AP) nodeName() string { return "ap:" + ap.cfg.Host.Name() }
+// nodeName labels this AP's spans and fleet snapshots.
+func (ap *AP) nodeName() string {
+	if ap.cfg.NodeName != "" {
+		return ap.cfg.NodeName
+	}
+	return "ap:" + ap.cfg.Host.Name()
+}

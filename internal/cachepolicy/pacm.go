@@ -3,6 +3,7 @@ package cachepolicy
 import (
 	"container/heap"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -297,9 +298,14 @@ func Gini(values map[string]float64) float64 {
 		return 0
 	}
 	vals := make([]float64, 0, len(values))
-	var sum float64
 	for _, v := range values {
 		vals = append(vals, v)
+	}
+	// Sum in sorted order: float addition is not associative, and map
+	// iteration order must not leak into the result's low bits.
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
 		sum += v
 	}
 	if sum <= 0 {

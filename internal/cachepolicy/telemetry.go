@@ -51,6 +51,9 @@ func (s *Store) Instrument(tel *telemetry.Telemetry, prefix string) {
 		staleServes:   m.Counter(prefix+"_store_stale_serves_total", "stale-while-revalidate serves"),
 		selection:     m.Histogram(prefix+"_pacm_selection_seconds", "victim-selection wall time per admission", telemetry.ComputeBuckets),
 	}
+	// Selection time is wall-clock CPU cost, nondeterministic by nature;
+	// keep it off the snapshot wire so fleet runs stay reproducible.
+	m.SetLocal(prefix + "_pacm_selection_seconds")
 	m.GaugeFunc(prefix+"_store_entries", "resident objects", func() float64 { return float64(s.Len()) })
 	m.GaugeFunc(prefix+"_store_used_bytes", "resident payload bytes", func() float64 { return float64(s.Used()) })
 	m.GaugeFunc(prefix+"_store_capacity_bytes", "configured capacity", func() float64 { return float64(s.Capacity()) })
@@ -166,8 +169,13 @@ func (s *Store) StorageReport() ([]AppStorage, float64) {
 	s.mu.RLock()
 	now := s.clock.Now()
 	rc := newRateCache(s.freq)
+	entries := s.entriesSlice()
+	s.mu.RUnlock()
+	// Accumulate per-app utility in insertion order: summing floats in
+	// map-iteration order would leak nondeterminism into the report.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
 	per := make(map[string]*AppStorage)
-	for _, e := range s.entries {
+	for _, e := range entries {
 		app := e.Object.App
 		a := per[app]
 		if a == nil {
@@ -178,7 +186,6 @@ func (s *Store) StorageReport() ([]AppStorage, float64) {
 		a.Bytes += e.Size()
 		a.Utility += rc.utility(e, now)
 	}
-	s.mu.RUnlock()
 
 	eff := make(map[string]float64, len(per))
 	out := make([]AppStorage, 0, len(per))

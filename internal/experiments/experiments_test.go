@@ -17,6 +17,7 @@ func TestRegistryIsComplete(t *testing.T) {
 		"table4", "table5", "table6",
 		"fig12", "fig13a", "fig13b", "fig13c",
 		"fig14", "table7", "coherence",
+		"fleet-health",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -253,6 +254,38 @@ func TestCoherenceSweepSeparatesModes(t *testing.T) {
 	swrHit := numericCell(t, res.Rows[2][5])
 	if swrHit < invHit {
 		t.Errorf("SWR hit ratio %f below Invalidate's %f", swrHit, invHit)
+	}
+}
+
+// TestFleetHealthBrownoutFiresAndResolves is the fleet-smoke gate: the
+// 16-AP brownout scenario must fire an SLO burn-rate alert for the
+// degraded AP during the fault and resolve it after recovery.
+func TestFleetHealthBrownoutFiresAndResolves(t *testing.T) {
+	res, err := mustRun(t, "fleet-health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (warm, brownout, recovered)", len(res.Rows))
+	}
+	warmFiring := numericCell(t, res.Rows[0][4])
+	brownoutMin := numericCell(t, res.Rows[1][1])
+	brownoutFiring := numericCell(t, res.Rows[1][4])
+	if warmFiring != 0 {
+		t.Errorf("alerts firing on a healthy fleet: %s", res.Rows[0][5])
+	}
+	if brownoutFiring == 0 {
+		t.Error("no alert firing during the brownout")
+	}
+	if warmMin := numericCell(t, res.Rows[0][1]); brownoutMin >= warmMin {
+		t.Errorf("brownout min score %f did not drop below warm %f", brownoutMin, warmMin)
+	}
+	fired, resolved := FleetAlertOutcome(res)
+	if !fired {
+		t.Error("no fire transition recorded for the browned-out AP")
+	}
+	if !resolved {
+		t.Error("no resolve transition recorded for the browned-out AP")
 	}
 }
 

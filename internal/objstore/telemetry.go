@@ -1,7 +1,11 @@
 package objstore
 
 import (
+	"fmt"
+	"time"
+
 	"apecache/internal/telemetry"
+	"apecache/internal/transport"
 )
 
 // edgeTel holds the edge server's registered instruments; nil (server
@@ -62,4 +66,45 @@ func (s *OriginServer) Instrument(tel *telemetry.Telemetry) {
 	s.tel = tel
 	s.requests = tel.Metrics.Counter("origin_requests_total", "objects served by the origin")
 	s.mu.Unlock()
+}
+
+// PushSnapshots starts periodic telemetry snapshot pushes to the fleet
+// controller at target, dialing from host, so the edge tier appears in
+// the fleet view and its spans join stitched cross-tier traces. Call
+// after Instrument; Stop the returned pusher to halt.
+func (s *EdgeCacheServer) PushSnapshots(host transport.Host, target transport.Addr, interval time.Duration) (*telemetry.Pusher, error) {
+	s.mu.Lock()
+	et := s.tel
+	s.mu.Unlock()
+	if et == nil {
+		return nil, fmt.Errorf("objstore: edge server not instrumented")
+	}
+	p, err := telemetry.NewPusher(telemetry.PushConfig{
+		Env: s.env, Tel: et.tel, Node: "edge:" + host.Name(), Host: host,
+		Target: target, Interval: interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	return p, nil
+}
+
+// PushSnapshots is the origin-tier counterpart of the edge hook.
+func (s *OriginServer) PushSnapshots(host transport.Host, target transport.Addr, interval time.Duration) (*telemetry.Pusher, error) {
+	s.mu.Lock()
+	tel := s.tel
+	s.mu.Unlock()
+	if tel == nil {
+		return nil, fmt.Errorf("objstore: origin server not instrumented")
+	}
+	p, err := telemetry.NewPusher(telemetry.PushConfig{
+		Env: s.env, Tel: tel, Node: "origin:" + host.Name(), Host: host,
+		Target: target, Interval: interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	return p, nil
 }

@@ -104,6 +104,7 @@ func Run(cfg Config) (*Report, error) {
 	r.benchCodec(iters)
 	r.benchFreq(iters)
 	r.benchTelemetry(iters)
+	r.benchSnapshot(iters / 10)
 
 	if !cfg.Quick {
 		if err := r.runSweeps(cfg); err != nil {

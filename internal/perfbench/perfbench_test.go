@@ -28,6 +28,7 @@ func TestRunQuick(t *testing.T) {
 		"pacm-select-speedup":             false,
 		"append-encode-allocs":            false,
 		"telemetry-overhead-pct":          false,
+		"snapshot-build-us":               false,
 	}
 	for _, inv := range r.Invariants {
 		if _, ok := want[inv.Name]; ok {
@@ -66,4 +67,26 @@ func TestTelemetryOverheadGate(t *testing.T) {
 		}
 	}
 	t.Fatal("telemetry-overhead-pct invariant missing")
+}
+
+// TestSnapshotBuildGate enforces the <100µs bound on capturing and
+// encoding one fleet telemetry snapshot at 1000 metrics. Like the
+// overhead gate above it is timing-sensitive, so it runs only under
+// APECACHE_PERF_GATE=1 (the CI fleet-smoke step).
+func TestSnapshotBuildGate(t *testing.T) {
+	if os.Getenv("APECACHE_PERF_GATE") == "" {
+		t.Skip("set APECACHE_PERF_GATE=1 to run the snapshot build gate")
+	}
+	var r Report
+	r.benchSnapshot(2000)
+	for _, inv := range r.Invariants {
+		if inv.Name == "snapshot-build-us" {
+			t.Logf("snapshot build: %.2fµs (gate %gµs)", inv.Value, SnapshotBuildGateUs)
+			if inv.Value >= SnapshotBuildGateUs {
+				t.Errorf("snapshot build %.2fµs breaches the %gµs gate", inv.Value, SnapshotBuildGateUs)
+			}
+			return
+		}
+	}
+	t.Fatal("snapshot-build-us invariant missing")
 }

@@ -1,0 +1,99 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"apecache/internal/telemetry"
+	"apecache/internal/vclock"
+)
+
+// SnapshotBuildGateUs is the acceptance ceiling (in microseconds) on
+// building and encoding one fleet telemetry snapshot from a registry of
+// snapshotMetrics instruments. Snapshots are pushed every few seconds
+// from the AP's request-serving process, so the build must stay far
+// below anything a client could notice.
+const SnapshotBuildGateUs = 100.0
+
+// snapshotMetrics is the instrument population of the snapshot micro:
+// large enough to dwarf a real AP registry (a few dozen families), so
+// the gate holds headroom for growth.
+const snapshotMetrics = 1000
+
+// snapshotRegistry builds a telemetry bundle with snapshotMetrics
+// instruments in realistic proportions — mostly labeled counters, some
+// gauges, a band of fixed-bucket histograms with observations — plus a
+// ring of finished spans for the span tail.
+func snapshotRegistry() *telemetry.Telemetry {
+	tel := telemetry.New(&vclock.Real{})
+	m := tel.Metrics
+	const hists, gauges = 64, 236
+	counters := snapshotMetrics - hists - gauges
+	for i := 0; i < counters; i++ {
+		c := m.LabeledCounter(fmt.Sprintf("bench_counter_%d_total", i/4),
+			telemetry.LabelPair("shard", fmt.Sprintf("%d", i%4)), "bench counter")
+		c.Add(int64(i))
+	}
+	for i := 0; i < gauges; i++ {
+		m.Gauge(fmt.Sprintf("bench_gauge_%d", i), "bench gauge").Set(float64(i) * 1.5)
+	}
+	for i := 0; i < hists; i++ {
+		h := m.Histogram(fmt.Sprintf("bench_hist_%d_seconds", i), "bench histogram", telemetry.DurationBuckets)
+		for j := 0; j < 16; j++ {
+			h.Observe(float64(j) * 0.001)
+		}
+	}
+	tr := telemetry.TraceID(0xbeef)
+	for i := 0; i < 64; i++ {
+		tel.Tracer.Record(telemetry.Span{
+			Trace: tr, Name: "bench-span", Node: "bench-node",
+			Start: tel.Now(), Duration: time.Millisecond,
+		})
+	}
+	return tel
+}
+
+// benchSnapshot measures the fleet push path: capturing a Snapshot from
+// a 1000-instrument registry and encoding it to the JSON wire body. The
+// snapshot-build-us invariant is the CI gate — the whole build+encode
+// must fit under SnapshotBuildGateUs.
+func (r *Report) benchSnapshot(iters int) {
+	tel := snapshotRegistry()
+
+	// Min of interleaved rounds, like benchTelemetry: the gate bounds an
+	// absolute time, so scheduler noise must not count against it.
+	buildNs := math.Inf(1)
+	for round := 0; round < telemetryRounds; round++ {
+		buildNs = math.Min(buildNs, timeOp(iters, func(i int) {
+			tel.BuildSnapshot("bench-node", uint64(i), 32)
+		}))
+	}
+	snap := tel.BuildSnapshot("bench-node", 1, 32)
+	encodeNs := timeOp(iters, func(int) {
+		if _, err := telemetry.EncodeSnapshot(snap); err != nil {
+			panic(err)
+		}
+	})
+	wire, err := telemetry.EncodeSnapshot(snap)
+	if err != nil {
+		panic(err)
+	}
+	decodeNs := timeOp(iters, func(int) {
+		if _, err := telemetry.DecodeSnapshot(wire); err != nil {
+			panic(err)
+		}
+	})
+
+	note := fmt.Sprintf("%d-instrument registry, %d-byte body", snapshotMetrics, len(wire))
+	r.Micros = append(r.Micros,
+		Micro{Name: "telemetry/snapshot-build-1k", NsPerOp: buildNs, Note: note},
+		Micro{Name: "telemetry/snapshot-encode-1k", NsPerOp: encodeNs, Note: note},
+		Micro{Name: "telemetry/snapshot-decode-1k", NsPerOp: decodeNs, Note: "controller-side parse of the same body"},
+	)
+	r.Invariants = append(r.Invariants, Invariant{
+		Name:  "snapshot-build-us",
+		Value: round2(buildNs / 1e3),
+		Note:  fmt.Sprintf("capture one fleet snapshot from a %d-metric registry, microseconds (acceptance gate: < %g; encode runs on the push goroutine, off the request path)", snapshotMetrics, SnapshotBuildGateUs),
+	})
+}

@@ -49,6 +49,7 @@ type CollectFunc func(dst []Sample) []Sample
 // instrument is one registered member of a family.
 type instrument struct {
 	labels  string
+	key     string // fully qualified sample key, cached for snapshot pushes
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
@@ -76,6 +77,7 @@ type family struct {
 	kind        Kind
 	instruments map[string]*instrument // keyed by label string
 	order       []string
+	local       bool // excluded from fleet snapshots (see SetLocal)
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -87,14 +89,26 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+
+	collectErrs *Counter
+
+	// snapRefs caches the flat instrument list appendSnapshot walks,
+	// with per-kind counts for map pre-sizing. Registration and SetLocal
+	// invalidate it; it is rebuilt lazily on the next snapshot capture.
+	snapRefs                 []snapRef
+	snapCtrs, snapGs, snapHs int
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	r := &Registry{families: make(map[string]*family)}
+	r.collectErrs = r.Counter("telemetry_collect_errors_total",
+		"collector callbacks that panicked during exposition (recovered)")
+	return r
 }
 
 func (r *Registry) familyLocked(name, help string, kind Kind) *family {
+	r.snapRefs = nil // any (re-)registration may add an instrument
 	f, ok := r.families[name]
 	if !ok {
 		f = &family{name: name, help: help, kind: kind, instruments: make(map[string]*instrument)}
@@ -108,11 +122,26 @@ func (r *Registry) familyLocked(name, help string, kind Kind) *family {
 	return f
 }
 
+// SetLocal marks a family as node-local: it still renders on /metrics
+// but is excluded from fleet snapshot pushes. Use it for instruments
+// whose values come from the wall clock (real CPU timings) — shipping
+// those over simnet would make wire sizes, and therefore virtual
+// timestamps, vary between otherwise identical runs.
+func (r *Registry) SetLocal(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.local = true
+		r.snapRefs = nil
+	}
+}
+
 func (f *family) add(labels string, in *instrument) *instrument {
 	if prev, ok := f.instruments[labels]; ok {
 		return prev
 	}
 	in.labels = labels
+	in.key = sampleKey(f.name, labels)
 	f.instruments[labels] = in
 	f.order = append(f.order, labels)
 	return in
@@ -211,11 +240,25 @@ func (r *Registry) snapshot() []familySnapshot {
 		labels := append([]string(nil), f.order...)
 		sort.Strings(labels)
 		for _, l := range labels {
-			snap.samples = f.instruments[l].collect(snap.samples)
+			snap.samples = r.safeCollect(f.instruments[l], snap.samples)
 		}
 		out = append(out, snap)
 	}
 	return out
+}
+
+// safeCollect runs one instrument's collector with panic isolation: a
+// broken GaugeFunc or CollectFunc must not take down /metrics for every
+// other family. A recovered panic drops that instrument's samples for
+// this scrape and bumps telemetry_collect_errors_total.
+func (r *Registry) safeCollect(in *instrument, dst []Sample) (out []Sample) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.collectErrs.Inc()
+			out = dst
+		}
+	}()
+	return in.collect(dst)
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition

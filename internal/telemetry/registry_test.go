@@ -113,6 +113,9 @@ req_seconds_bucket{le="0.01"} 2
 req_seconds_bucket{le="+Inf"} 3
 req_seconds_sum 5.0055
 req_seconds_count 3
+# HELP telemetry_collect_errors_total collector callbacks that panicked during exposition (recovered)
+# TYPE telemetry_collect_errors_total counter
+telemetry_collect_errors_total 0
 `
 	if got := buf.String(); got != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

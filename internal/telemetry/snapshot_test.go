@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"apecache/internal/vclock"
+)
+
+// TestHistDataMergeProperty: merging N per-node histograms is exact and
+// order-independent — any permutation of merges equals, bucket for
+// bucket, the histogram of the concatenated observations.
+func TestHistDataMergeProperty(t *testing.T) {
+	bounds := ExpBuckets(1e-4, 2, 10)
+	f := func(seed int64, nodes uint8) bool {
+		n := int(nodes)%6 + 2
+		rng := rand.New(rand.NewSource(seed))
+
+		// Per-node histograms plus one reference fed every observation.
+		parts := make([]*Histogram, n)
+		ref := newHistogram(bounds)
+		for i := range parts {
+			parts[i] = newHistogram(bounds)
+			for k := rng.Intn(40); k > 0; k-- {
+				v := rng.Float64() * 0.2
+				parts[i].Observe(v)
+				ref.Observe(v)
+			}
+		}
+
+		// Merge in a random permutation of node order.
+		var merged HistData
+		for _, i := range rng.Perm(n) {
+			if err := merged.Merge(parts[i].Data()); err != nil {
+				t.Logf("merge: %v", err)
+				return false
+			}
+		}
+
+		want := ref.Data()
+		if merged.Count() != want.Count() {
+			t.Logf("count %d, want %d", merged.Count(), want.Count())
+			return false
+		}
+		for i, c := range want.Counts {
+			if merged.Counts[i] != c {
+				t.Logf("bucket %d: %d, want %d", i, merged.Counts[i], c)
+				return false
+			}
+		}
+		// Sum is a float accumulated in different orders; allow ulp slack.
+		if diff := merged.Sum - want.Sum; diff > 1e-9 || diff < -1e-9 {
+			t.Logf("sum %v, want %v", merged.Sum, want.Sum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistDataMergeRejectsMismatchedBounds(t *testing.T) {
+	a := newHistogram([]float64{1, 2}).Data()
+	b := newHistogram([]float64{1, 3}).Data()
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different bounds succeeded")
+	}
+	c := newHistogram([]float64{1, 2, 4}).Data()
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different bucket counts succeeded")
+	}
+}
+
+func TestHistDataCountUnder(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	d := h.Data()
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.001, 1},  // exact bucket boundary
+		{0.005, 2},  // snapped up to 0.01
+		{0.1, 3},    // last finite bucket
+		{100, 3},    // above all finite buckets: +Inf can't prove "under"
+		{0.0001, 1}, // below first bound: snapped up to it
+	}
+	for _, c := range cases {
+		if got := d.CountUnder(c.bound); got != c.want {
+			t.Errorf("CountUnder(%v) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+}
+
+// TestCollectPanicIsolation: a panicking GaugeFunc must not take down
+// exposition or snapshot building; the failure is surfaced through
+// telemetry_collect_errors_total instead.
+func TestCollectPanicIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("healthy_gauge", "fine").Set(7)
+	r.GaugeFunc("broken_gauge", "panics on read", func() float64 { panic("collector bug") })
+	r.Counter("healthy_total", "fine").Add(3)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "healthy_gauge 7") || !strings.Contains(out, "healthy_total 3") {
+		t.Errorf("healthy instruments missing from exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "telemetry_collect_errors_total 1") {
+		t.Errorf("collect error not counted:\n%s", out)
+	}
+
+	var s Snapshot
+	r.appendSnapshot(&s)
+	if s.Gauges["healthy_gauge"] != 7 || s.Counters["healthy_total"] != 3 {
+		t.Errorf("healthy instruments missing from snapshot: %+v", s)
+	}
+	if _, ok := s.Gauges["broken_gauge"]; ok {
+		t.Error("panicking gauge produced a snapshot sample")
+	}
+	// The snapshot carries at least the exposition pass's panic (its own
+	// pass increments after the sample was read), and the live counter has
+	// recorded both.
+	if got := s.Counters["telemetry_collect_errors_total"]; got < 1 {
+		t.Errorf("collect errors in snapshot = %v, want >= 1", got)
+	}
+	if got := r.collectErrs.Value(); got != 2 {
+		t.Errorf("live collect errors = %d, want 2", got)
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	tel := New(sim)
+	tel.Metrics.Counter("reqs_total", "requests").Add(12)
+	tel.Metrics.Gauge("entries", "resident").Set(5)
+	tel.Metrics.Histogram("lat_seconds", "latency", DurationBuckets).Observe(0.003)
+	tr := tel.Tracer.NewTrace()
+	tel.Tracer.Record(Span{Trace: tr, Name: "unit-span", Node: "node-a", Start: tel.Now(), Duration: time.Millisecond})
+
+	snap := tel.BuildSnapshot("ap:test", 3, 16)
+	b, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "ap:test" || got.Seq != 3 {
+		t.Errorf("identity: %+v", got)
+	}
+	if got.Counters["reqs_total"] != 12 || got.Gauges["entries"] != 5 {
+		t.Errorf("values: %+v", got)
+	}
+	h, ok := got.Hists["lat_seconds"]
+	if !ok || h.Count() != 1 {
+		t.Errorf("histogram: %+v", got.Hists)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Trace != tr || got.Spans[0].Name != "unit-span" {
+		t.Errorf("spans: %+v", got.Spans)
+	}
+
+	// Encoding the same state twice yields identical bytes (map keys are
+	// sorted by encoding/json) — the property fleet determinism rests on.
+	b2, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("identical snapshots encoded to different bytes")
+	}
+
+	if _, err := DecodeSnapshot([]byte(`{"seq":1}`)); err == nil {
+		t.Error("decoding a snapshot without a node succeeded")
+	}
+}
+
+// TestSetLocalExcludesFromSnapshot: node-local families render on
+// /metrics but stay off the snapshot wire.
+func TestSetLocalExcludesFromSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("cpu_seconds", "wall-clock cost", ComputeBuckets).Observe(0.001)
+	r.SetLocal("cpu_seconds")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cpu_seconds_count 1") {
+		t.Error("local family missing from exposition")
+	}
+	var s Snapshot
+	r.appendSnapshot(&s)
+	if _, ok := s.Hists["cpu_seconds"]; ok {
+		t.Error("local family leaked into snapshot")
+	}
+}

@@ -114,6 +114,10 @@ type Config struct {
 	// across the whole topology. Leave nil for experiment runs: client
 	// tracing adds a trace RR to DNS-Cache queries and a header to HTTP
 	// hops, which changes wire sizes and therefore simulated timings.
+	// Fleet snapshot pushing (apcache.Config.FleetAddr) is likewise left
+	// off here for the same reason — only the dedicated Fleet testbed
+	// enables it — so Table 4/5/6 and the coherence outputs stay
+	// bit-identical to runs without the observability plane.
 	Telemetry *telemetry.Telemetry
 }
 

@@ -76,6 +76,8 @@ type Controller struct {
 	purgesC     *telemetry.Counter
 	relaysC     *telemetry.Counter
 	fillOrdersC *telemetry.Counter
+
+	fleet *FleetStore
 }
 
 // NewController builds a controller.
@@ -111,10 +113,71 @@ func (c *Controller) Start(port uint16) error {
 	mux.HandleFunc("/locate", c.handleLocate)
 	mux.HandleFunc("/report", c.handleReport)
 	mux.HandleFunc(coherence.DefaultPurgePath, c.handlePurge)
+	if c.fleet != nil {
+		mux.HandleFunc(telemetry.DefaultSnapshotPath, c.handleSnapshot)
+		mux.HandleFunc("/fleet", c.handleFleet)
+		mux.HandleFunc("/alerts", c.handleAlerts)
+	}
 	c.tel.Register(mux)
 	srv := httplite.NewServer(c.env, mux)
 	c.env.Go("wicache.controller", func() { srv.Serve(l) })
 	return nil
+}
+
+// EnableFleet attaches a fleet observability store to the controller
+// and mounts /snapshot, /fleet, and /alerts when Start runs. Call it
+// before Start; call Instrument first if stitched traces and alert
+// event lines should land in the controller's telemetry bundle.
+func (c *Controller) EnableFleet(cfg FleetConfig) *FleetStore {
+	c.fleet = NewFleetStore(c.env, c.tel, cfg)
+	return c.fleet
+}
+
+// Fleet returns the attached fleet store, nil when fleet observability
+// is not enabled.
+func (c *Controller) Fleet() *FleetStore { return c.fleet }
+
+// handleSnapshot ingests one pushed AP telemetry snapshot.
+func (c *Controller) handleSnapshot(req *httplite.Request) *httplite.Response {
+	snap, err := telemetry.DecodeSnapshot(req.Body)
+	if err != nil {
+		return httplite.NewResponse(400, []byte(err.Error()))
+	}
+	if err := c.fleet.Ingest(snap); err != nil {
+		return httplite.NewResponse(409, []byte(err.Error()))
+	}
+	return httplite.NewResponse(200, nil)
+}
+
+// handleFleet serves the fleet view as JSON.
+func (c *Controller) handleFleet(req *httplite.Request) *httplite.Response {
+	body, err := json.MarshalIndent(c.fleet.View(), "", "  ")
+	if err != nil {
+		return httplite.NewResponse(500, []byte(err.Error()))
+	}
+	resp := httplite.NewResponse(200, body)
+	resp.Set("Content-Type", "application/json")
+	return resp
+}
+
+// alertsPayload is the /alerts response body.
+type alertsPayload struct {
+	Alerts  []AlertStatus `json:"alerts"`
+	History []AlertEvent  `json:"history,omitempty"`
+}
+
+// handleAlerts serves alert statuses plus the transition history.
+func (c *Controller) handleAlerts(req *httplite.Request) *httplite.Response {
+	body, err := json.MarshalIndent(alertsPayload{
+		Alerts:  c.fleet.Alerts(),
+		History: c.fleet.AlertHistory(),
+	}, "", "  ")
+	if err != nil {
+		return httplite.NewResponse(500, []byte(err.Error()))
+	}
+	resp := httplite.NewResponse(200, body)
+	resp.Set("Content-Type", "application/json")
+	return resp
 }
 
 // SubscribeBus registers the controller's /purge endpoint with the
