@@ -14,6 +14,7 @@
 //	apectl trace -addr 127.0.0.1:18080 3fb1c2d4e5f60708   # spans of one trace
 //	apectl fleet -addr 127.0.0.1:9090           # controller fleet view: health, latency, alerts
 //	apectl alerts -addr 127.0.0.1:9090          # SLO alert states and transition history
+//	apectl peers -addr 127.0.0.1:9090           # mesh directory: published content summaries
 //	apectl purge -hub 127.0.0.1:8080 \
 //	       -url http://api.demo.example/obj0 -version 1   # push a purge
 //	apectl purge -hub 127.0.0.1:8080 \
@@ -48,6 +49,11 @@ type status struct {
 	Blocked        int        `json:"blocked"`
 	Delegations    int        `json:"delegations"`
 	Prefetches     int        `json:"prefetches"`
+	Mesh           string     `json:"mesh"`
+	PeerHits       int        `json:"peer_hits"`
+	PeerFallbacks  int        `json:"peer_fallbacks"`
+	PeerBytes      int64      `json:"peer_bytes"`
+	DelegBytes     int64      `json:"delegation_bytes"`
 	DNSHits        int        `json:"dns_cache_hits"`
 	DNSMisses      int        `json:"dns_cache_misses"`
 	Policy         string     `json:"policy"`
@@ -84,6 +90,8 @@ func main() {
 		err = runFleet(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "alerts":
 		err = runAlerts(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "peers":
+		err = runPeers(os.Args[2:])
 	default:
 		ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
 		raw := flag.Bool("raw", false, "print the raw JSON status")
@@ -381,6 +389,53 @@ func runAlerts(args []string) error {
 	return nil
 }
 
+// runPeers fetches the mesh directory's /mesh/peers listing and renders
+// each AP's published content summary: what it offers the mesh and how
+// stale that picture is.
+func runPeers(args []string) error {
+	fs := flag.NewFlagSet("peers", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "controller HTTP endpoint host:port")
+	raw := fs.Bool("raw", false, "print the raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := fetch(*addr, "/mesh/peers")
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	var peers []struct {
+		Node       string `json:"node"`
+		Addr       struct {
+			Host string
+			Port uint16
+		} `json:"addr"`
+		Entries    int     `json:"entries"`
+		Domains    int     `json:"domains"`
+		Seq        uint64  `json:"seq"`
+		Generation uint64  `json:"generation"`
+		AgeSec     float64 `json:"age_sec"`
+	}
+	if err := json.Unmarshal(body, &peers); err != nil {
+		return fmt.Errorf("decode peers: %w", err)
+	}
+	if len(peers) == 0 {
+		fmt.Println("no published summaries (mesh empty or APs not started with -mesh)")
+		return nil
+	}
+	fmt.Printf("%-18s  %-21s  %7s  %7s  %5s  %3s  %7s\n",
+		"NODE", "ADDR", "ENTRIES", "DOMAINS", "SEQ", "GEN", "AGE(s)")
+	for _, p := range peers {
+		fmt.Printf("%-18s  %-21s  %7d  %7d  %5d  %3d  %7.1f\n",
+			p.Node, fmt.Sprintf("%s:%d", p.Addr.Host, p.Addr.Port),
+			p.Entries, p.Domains, p.Seq, p.Generation, p.AgeSec)
+	}
+	return nil
+}
+
 // runPurge publishes one invalidation to the coherence hub.
 func runPurge(args []string) error {
 	fs := flag.NewFlagSet("purge", flag.ExitOnError)
@@ -442,8 +497,10 @@ func runStatus(apAddr string, raw bool) error {
 		s.Entries, s.CacheUsedBytes>>10, s.CacheCapacity>>10, pct)
 	fmt.Printf("mgmt:   %d insertions, %d updates, %d evictions, %d expired, %d blocked\n",
 		s.Insertions, s.Updates, s.Evictions, s.Expired, s.Blocked)
-	fmt.Printf("runtime: %d delegations, %d prefetches, DNS cache %d hits / %d misses\n",
-		s.Delegations, s.Prefetches, s.DNSHits, s.DNSMisses)
+	fmt.Printf("runtime: %d delegations (%d KB), %d prefetches, DNS cache %d hits / %d misses\n",
+		s.Delegations, s.DelegBytes>>10, s.Prefetches, s.DNSHits, s.DNSMisses)
+	fmt.Printf("mesh:   %s — %d peer hits (%d KB), %d fallbacks\n",
+		s.Mesh, s.PeerHits, s.PeerBytes>>10, s.PeerFallbacks)
 	fmt.Printf("coherence: %s — %d purges, %d revalidations, %d stale serves, %d stale drops\n",
 		s.Coherence, s.Purges, s.Revalidations, s.StaleServes, s.StaleDrops)
 	fmt.Printf("fairness: Gini %.3f over %d app(s)\n", s.Gini, len(s.PerApp))

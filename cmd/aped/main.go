@@ -7,7 +7,8 @@
 //
 //	aped -ip 127.0.0.1 -dns-port 15353 -http-port 18080 \
 //	     -upstream 8.8.8.8:53 -edge 127.0.0.1:8080 \
-//	     -cache-mb 5 -policy pacm -coherence swr
+//	     -cache-mb 5 -policy pacm -coherence swr \
+//	     -mesh 127.0.0.1:9090 -mesh-interval 5s
 package main
 
 import (
@@ -38,16 +39,18 @@ func main() {
 		busFlag  = flag.String("bus", "", "coherence hub host:port (default: the -edge endpoint)")
 		fleet    = flag.String("fleet", "", "fleet controller host:port for telemetry snapshot pushes (empty: disabled)")
 		snapIntv = flag.Duration("snapshot-interval", 10*time.Second, "telemetry snapshot push cadence (with -fleet)")
-		node     = flag.String("node", "", "fleet node name (default ap:<ip>:<http-port>; must be unique per AP)")
+		node     = flag.String("node", "", "fleet/mesh node name (default ap:<ip>:<http-port>; must be unique per AP)")
+		mesh     = flag.String("mesh", "", "mesh directory (Wi-Cache controller) host:port for cooperative peer fetch (empty: disabled)")
+		meshIntv = flag.Duration("mesh-interval", 5*time.Second, "content summary publish cadence (with -mesh)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node); err != nil {
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node, *mesh, *meshIntv); err != nil {
 		fmt.Fprintln(os.Stderr, "aped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node string) error {
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node, mesh string, meshIntv time.Duration) error {
 	upstreamAddr, err := parseAddr(upstream)
 	if err != nil {
 		return fmt.Errorf("bad -upstream: %w", err)
@@ -71,11 +74,17 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 		if fleetAddr, err = parseAddr(fleet); err != nil {
 			return fmt.Errorf("bad -fleet: %w", err)
 		}
-		if node == "" {
-			// Several APs can share one host address (loopback demos,
-			// NAT): the HTTP port keeps fleet node names unique.
-			node = fmt.Sprintf("ap:%s:%d", ip, httpPort)
+	}
+	var meshAddr transport.Addr
+	if mesh != "" {
+		if meshAddr, err = parseAddr(mesh); err != nil {
+			return fmt.Errorf("bad -mesh: %w", err)
 		}
+	}
+	if node == "" && (fleet != "" || mesh != "") {
+		// Several APs can share one host address (loopback demos,
+		// NAT): the HTTP port keeps fleet/mesh node names unique.
+		node = fmt.Sprintf("ap:%s:%d", ip, httpPort)
 	}
 	var policy apecache.CachePolicy
 	switch policyName {
@@ -102,6 +111,8 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 		FleetAddr:        fleetAddr,
 		SnapshotInterval: snapIntv,
 		NodeName:         node,
+		MeshAddr:         meshAddr,
+		MeshInterval:     meshIntv,
 	})
 	if err := ap.Start(); err != nil {
 		return err
@@ -112,6 +123,9 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	fmt.Printf("aped: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", ap.HTTPAddr())
 	if !fleetAddr.IsZero() {
 		fmt.Printf("aped: pushing telemetry snapshots to %s every %s\n", fleetAddr, snapIntv)
+	}
+	if !meshAddr.IsZero() {
+		fmt.Printf("aped: publishing content summaries to mesh directory %s every %s\n", meshAddr, meshIntv)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -106,10 +106,12 @@ func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, pe
 		ctl := wicache.NewController(env, host)
 		ctl.Instrument(tel)
 		ctl.EnableFleet(wicache.FleetConfig{})
+		ctl.EnableMesh()
 		if err := ctl.Start(fleetPort); err != nil {
 			return err
 		}
 		fmt.Printf("edged: fleet controller on %s (/fleet, /alerts; APs push with aped -fleet)\n", ctl.Addr())
+		fmt.Printf("edged: mesh directory on %s/mesh (APs publish with aped -mesh; inspect with apectl peers)\n", ctl.Addr())
 	}
 	for _, o := range catalog.All() {
 		fmt.Printf("  %s  (%d KB, prio %d, ttl %v)\n", o.URL, o.Size>>10, o.Priority, o.TTL)

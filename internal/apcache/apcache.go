@@ -111,6 +111,18 @@ type Config struct {
 	// snapshots ("ap:<host name>" when empty). Fleet node names must be
 	// unique — set this when several APs share one host address.
 	NodeName string
+	// MeshAddr, when set, enables the cooperative cache mesh (§ mesh in
+	// DESIGN.md): the AP publishes content summaries to the mesh
+	// directory at this address and consults it on delegation misses to
+	// fetch from nearby peers instead of the edge. Zero disables the
+	// mesh; summary and lookup traffic is wire-visible, so baseline
+	// experiment runs leave it off.
+	MeshAddr transport.Addr
+	// MeshInterval overrides the summary publish cadence
+	// (coopmesh.DefaultSummaryInterval when zero); MeshFPRate the Bloom
+	// false-positive bound (coopmesh.DefaultFPRate when zero).
+	MeshInterval time.Duration
+	MeshFPRate   float64
 }
 
 // AP is a running APE-CACHE access point.
@@ -126,6 +138,8 @@ type AP struct {
 	httpList transport.Listener
 	started  time.Time
 	pusher   *telemetry.Pusher
+	mesh     *meshState
+	mtel     *meshTel
 
 	// mu guards the counters and stop flag: DNS and HTTP handlers run on
 	// separate goroutines under the real clock.
@@ -140,6 +154,15 @@ type AP struct {
 	// conditional re-fetches completed. Read from quiescent code only.
 	Purges        int
 	Revalidations int
+	// PeerHits counts misses served from a mesh peer; PeerFallbacks the
+	// lookups whose candidates all failed (Bloom false positive or
+	// eviction race) before falling back to the edge. PeerBytes and
+	// DelegationBytes total the payload bytes over each path — their
+	// ratio is the mesh's backhaul saving. Read from quiescent code only.
+	PeerHits        int
+	PeerFallbacks   int
+	PeerBytes       int64
+	DelegationBytes int64
 	// revalidating and delegating are the singleflight guards: one
 	// background revalidation per URL, one edge fetch per URL across
 	// concurrent delegations.
@@ -174,6 +197,12 @@ func New(cfg Config) *AP {
 		delegating:   make(map[string]bool),
 	}
 	ap.tel = newAPTel(cfg.Telemetry, ap)
+	if !cfg.MeshAddr.IsZero() {
+		ap.mesh = &meshState{peerEWMA: make(map[string]time.Duration)}
+		ap.mtel = newMeshTel(cfg.Telemetry)
+	} else {
+		ap.mtel = &meshTel{} // nil instruments: every Inc is a no-op
+	}
 	return ap
 }
 
@@ -213,6 +242,12 @@ func (ap *AP) Start() error {
 	ap.cfg.Env.Go("apcache.http", func() { srv.Serve(l) })
 	ap.started = ap.cfg.Env.Now()
 	ap.startSweeper()
+	if ap.mesh != nil {
+		if err := ap.startMesh(); err != nil {
+			ap.Stop()
+			return fmt.Errorf("apcache: %w", err)
+		}
+	}
 	if ap.cfg.Coherence != coherence.ModeOff {
 		if err := ap.subscribeBus(); err != nil {
 			ap.Stop()
@@ -242,6 +277,9 @@ func (ap *AP) Stop() {
 	ap.mu.Unlock()
 	if ap.pusher != nil {
 		ap.pusher.Stop()
+	}
+	if ap.mesh != nil && ap.mesh.publisher != nil {
+		ap.mesh.publisher.Stop()
 	}
 	if ap.dnsConn != nil {
 		ap.dnsConn.Close()
@@ -383,10 +421,15 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	if app := params["app"]; app != "" {
 		ap.store.RecordRequest(app)
 	}
+	// A mesh peer fetch identifies itself; peers need the coherence
+	// version and remaining freshness to re-cache the object, and must
+	// never consume the one-shot stale-while-revalidate allowance that
+	// belongs to this AP's own clients.
+	peer := req.Get("X-Ape-Peer")
 	basic := dnswire.BasicURL(target)
 	entry, ok := ap.store.Get(basic)
 	if !ok {
-		if ap.cfg.Coherence == coherence.ModeSWR {
+		if ap.cfg.Coherence == coherence.ModeSWR && peer == "" {
 			if stale, sok := ap.store.GetStale(basic); sok {
 				// The one allowed post-purge serve: hand out the resident
 				// copy at hit speed and make sure a revalidation is
@@ -412,6 +455,14 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	ap.tel.serveHit.Inc()
 	resp := httplite.NewResponse(200, entry.Data)
 	resp.Set("X-Ape-Source", "ap-cache")
+	if peer != "" {
+		// Extra metadata only on peer fetches, so the bytes of ordinary
+		// client serves stay identical with the mesh off.
+		resp.Set("ETag", coherence.FormatETag(entry.Version))
+		remain := entry.Expiry.Sub(ap.cfg.Env.Now())
+		resp.Set("X-Ape-Fresh-Ms", strconv.FormatInt(remain.Milliseconds(), 10))
+		ap.mtel.peerServes.Inc()
+	}
 	return resp
 }
 
@@ -468,6 +519,14 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	}
 	defer ap.releaseDelegation(basic)
 
+	// Cooperative mesh tier: before paying the edge round trip, ask the
+	// mesh directory whether a nearby peer AP already holds the object
+	// and fetch it over the LAN when the latency gate approves.
+	if resp, ok := ap.tryPeerFetch(basic, app, priority, trace); ok {
+		outcome = "peer"
+		return resp
+	}
+
 	// Fetch from the edge, timing the retrieval — the measured latency
 	// approximates l_d for PACM (transfer time makes it grow with object
 	// size, so critical-path objects measure slower, as in the paper).
@@ -489,7 +548,11 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 	fetchLatency := ap.cfg.Env.Now().Sub(start)
 	ap.mu.Lock()
 	ap.Delegations++
+	ap.DelegationBytes += int64(len(edgeResp.Body))
 	ap.mu.Unlock()
+	if ap.mesh != nil {
+		ap.observeEdge(fetchLatency)
+	}
 	outcome = "edge"
 	ap.tel.delegations.Inc()
 	ap.tel.delegationSecs.ObserveDuration(fetchLatency)

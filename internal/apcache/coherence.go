@@ -59,6 +59,11 @@ func (ap *AP) handlePurge(req *httplite.Request) *httplite.Response {
 	ap.tel.purges.Inc()
 	keepStale := ap.cfg.Coherence == coherence.ModeSWR
 	_, stale := ap.store.Purge(msg.URL, msg.Version, msg.Gone, keepStale)
+	if ap.mesh != nil && ap.mesh.publisher != nil {
+		// The published summary may still advertise the purged bytes;
+		// bump the generation so the next publication supersedes it.
+		ap.mesh.publisher.Bump()
+	}
 	if stale {
 		url := msg.URL
 		ap.cfg.Env.Go("apcache.revalidate", func() { ap.revalidate(url) })

@@ -34,6 +34,14 @@ type Status struct {
 	Revalidations int    `json:"revalidations"`
 	StaleServes   int    `json:"stale_serves"`
 	StaleDrops    int    `json:"stale_drops"`
+	// Cooperative mesh counters. Mesh is the directory address ("off"
+	// when disabled); DelegationBytes pairs with PeerBytes so operators
+	// can read the backhaul split at a glance.
+	Mesh            string `json:"mesh"`
+	PeerHits        int    `json:"peer_hits"`
+	PeerFallbacks   int    `json:"peer_fallbacks"`
+	PeerBytes       int64  `json:"peer_bytes"`
+	DelegationBytes int64  `json:"delegation_bytes"`
 	// Storage fairness: Gini is the inequality of per-app storage
 	// efficiency C_a (PACM's θ constraint, §V-C); PerApp breaks the cache
 	// down by app.
@@ -47,7 +55,13 @@ func (ap *AP) Snapshot() Status {
 	ap.mu.Lock()
 	delegations, prefetches := ap.Delegations, ap.Prefetches
 	purges, revalidations := ap.Purges, ap.Revalidations
+	peerHits, peerFallbacks := ap.PeerHits, ap.PeerFallbacks
+	peerBytes, delegationBytes := ap.PeerBytes, ap.DelegationBytes
 	ap.mu.Unlock()
+	mesh := "off"
+	if !ap.cfg.MeshAddr.IsZero() {
+		mesh = ap.cfg.MeshAddr.String()
+	}
 	dnsHits, dnsMisses := ap.fwd.CacheStats()
 	perApp, gini := ap.store.StorageReport()
 	return Status{
@@ -56,6 +70,11 @@ func (ap *AP) Snapshot() Status {
 		Revalidations:  revalidations,
 		StaleServes:    stats.StaleServes,
 		StaleDrops:     stats.StaleDrops,
+		Mesh:            mesh,
+		PeerHits:        peerHits,
+		PeerFallbacks:   peerFallbacks,
+		PeerBytes:       peerBytes,
+		DelegationBytes: delegationBytes,
 		CacheUsedBytes: ap.store.Used(),
 		CacheCapacity:  ap.store.Capacity(),
 		Entries:        ap.store.Len(),

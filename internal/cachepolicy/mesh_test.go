@@ -1,0 +1,79 @@
+package cachepolicy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"apecache/internal/dnswire"
+	"apecache/internal/objstore"
+	"apecache/internal/vclock"
+)
+
+// MeshView must report exactly the servable set: across randomized
+// catalogs, every resident fresh entry's hash appears (no false
+// negatives at the source — the Bloom filter can only widen, never
+// narrow, what the summary claims), excluded entries don't, and each
+// domain digest equals the commutative fold recomputed from scratch.
+func TestMeshViewGroundTruth(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sim := vclock.NewSim(time.Time{})
+		store := NewStore(sim, 64<<20, 0, NewPACM(), nil)
+
+		wantHashes := map[uint64]string{}
+		wantDigest := map[string]uint64{}
+		wantFresh := map[string]int{}
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			u := fmt.Sprintf("http://d%d.example/obj%d", rng.Intn(8), i)
+			kind := rng.Intn(10)
+			ttl := time.Hour
+			if kind == 0 {
+				ttl = 0 // expired on arrival
+			}
+			obj := &objstore.Object{URL: u, App: "t", Size: 32, TTL: ttl, Priority: objstore.PriorityLow}
+			if err := store.Put(obj, make([]byte, 32), 0); err != nil {
+				t.Fatalf("seed %d: put %s: %v", seed, u, err)
+			}
+			if kind == 1 {
+				store.Purge(u, 99, false, true) // resident but stale
+				continue
+			}
+			if kind == 0 {
+				continue
+			}
+			h := dnswire.HashURL(u)
+			wantHashes[h] = u
+			d := dnswire.URLDomain(u)
+			wantDigest[d] += meshMix(h)
+			wantFresh[d]++
+		}
+
+		hashes, domains := store.MeshView()
+		if len(hashes) != len(wantHashes) {
+			t.Fatalf("seed %d: %d hashes, want %d", seed, len(hashes), len(wantHashes))
+		}
+		for _, h := range hashes {
+			if _, ok := wantHashes[h]; !ok {
+				t.Errorf("seed %d: unexpected hash %#x in view", seed, h)
+			}
+			delete(wantHashes, h)
+		}
+		for _, u := range wantHashes {
+			t.Errorf("seed %d: servable %s missing from view", seed, u)
+		}
+		for _, d := range domains {
+			if d.Digest != wantDigest[d.Domain] {
+				t.Errorf("seed %d: %s digest %#x, want %#x", seed, d.Domain, d.Digest, wantDigest[d.Domain])
+			}
+			if d.Fresh != wantFresh[d.Domain] {
+				t.Errorf("seed %d: %s fresh %d, want %d", seed, d.Domain, d.Fresh, wantFresh[d.Domain])
+			}
+			if d.Known < d.Fresh {
+				t.Errorf("seed %d: %s known %d < fresh %d", seed, d.Domain, d.Known, d.Fresh)
+			}
+		}
+	}
+}

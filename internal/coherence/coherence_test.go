@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"encoding/json"
 	"sync"
 	"testing"
 	"time"
@@ -167,5 +168,47 @@ func TestHubFanOut(t *testing.T) {
 	sim.Wait()
 	if err := sim.Err(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A daemon that restarts re-subscribes its endpoint — possibly with a
+// different purge path. The hub must hold exactly one registration per
+// endpoint, replacing rather than appending, or every purge would be
+// delivered twice (and the dead old path would be dialed forever).
+func TestHubResubscribeReplacesEndpoint(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	net := simnet.New(sim, 3)
+	hub := NewHub(sim, net.Node("edge"), nil)
+	subscribe := func(addr transport.Addr, path string) {
+		t.Helper()
+		body, err := json.Marshal(subscription{Addr: addr, Path: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := hub.ServeHTTP(&httplite.Request{Path: PathSubscribe, Body: body})
+		if resp.Status != 200 {
+			t.Fatalf("subscribe %s %s: status %d", addr, path, resp.Status)
+		}
+	}
+
+	apAddr := transport.Addr{Host: "ap1", Port: 8080}
+	subscribe(apAddr, "")
+	subscribe(apAddr, "")                    // same endpoint, same (default) path
+	subscribe(apAddr, "/purge-v2")           // restarted daemon, new path
+	subscribe(transport.Addr{Host: "ap2", Port: 8080}, "")
+
+	if got := len(hub.Subscribers()); got != 2 {
+		t.Fatalf("subscribers = %d, want 2 (one per endpoint)", got)
+	}
+	hub.mu.Lock()
+	var ap1Paths []string
+	for _, s := range hub.subs {
+		if s.Addr == apAddr {
+			ap1Paths = append(ap1Paths, s.Path)
+		}
+	}
+	hub.mu.Unlock()
+	if len(ap1Paths) != 1 || ap1Paths[0] != "/purge-v2" {
+		t.Fatalf("ap1 registrations = %v, want exactly [/purge-v2]", ap1Paths)
 	}
 }

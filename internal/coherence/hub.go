@@ -103,9 +103,14 @@ func (h *Hub) handleSubscribe(req *httplite.Request) *httplite.Response {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for _, s := range h.subs {
-		if s.Addr == sub.Addr && s.Path == sub.Path {
-			return httplite.NewResponse(200, nil) // idempotent re-subscribe
+	for i, s := range h.subs {
+		if s.Addr == sub.Addr {
+			// Idempotent re-subscribe: one endpoint holds exactly one
+			// registration. A restarted daemon (possibly announcing a new
+			// purge path) replaces its old entry instead of appending a
+			// duplicate that would double every purge delivery.
+			h.subs[i] = sub
+			return httplite.NewResponse(200, nil)
 		}
 	}
 	h.subs = append(h.subs, sub)

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// The coop sweep must show the mesh earning its keep: peer hits on every
+// multi-AP row, and less backhaul than the mesh-off twin at every size
+// >= 4 (the ISSUE acceptance bar; in practice size 2 already saves).
+func TestCoopMeshReducesBackhaul(t *testing.T) {
+	res, err := mustRun(t, "coop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(coopMeshSizes) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(coopMeshSizes))
+	}
+	peerHits, reduced := CoopOutcome(res, 4)
+	if peerHits == 0 {
+		t.Fatalf("no peer hits anywhere in the sweep:\n%s", res.Format())
+	}
+	if !reduced {
+		t.Fatalf("mesh did not reduce backhaul at every size >= 4:\n%s", res.Format())
+	}
+	for _, row := range res.Rows {
+		size, _ := strconv.Atoi(row[0])
+		hits, _ := strconv.Atoi(row[2])
+		if size == 1 && hits != 0 {
+			t.Errorf("singleton mesh reported %d peer hits; it has no peers", hits)
+		}
+		if size >= 2 && hits == 0 {
+			t.Errorf("size-%d mesh saw no peer hits:\n%s", size, res.Format())
+		}
+	}
+}

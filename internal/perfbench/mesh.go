@@ -1,0 +1,99 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+
+	"apecache/internal/coopmesh"
+	"apecache/internal/transport"
+	"apecache/internal/vclock"
+)
+
+// MeshSummaryBuildGateUs is the acceptance ceiling (in microseconds) on
+// building one mesh content summary from a meshResidents-entry store.
+// Every mesh AP pays this on its publish loop inside the request-serving
+// process, so it must stay far below the publish interval and below
+// anything a client could notice.
+const MeshSummaryBuildGateUs = 1000.0
+
+// MeshLookupGateUs is the acceptance ceiling (in microseconds) on one
+// directory lookup across a meshPeers-entry peer table. The controller
+// pays this for every mesh-tier miss in the deployment, on the miss's
+// critical path.
+const MeshLookupGateUs = 100.0
+
+// meshResidents / meshPeers size the mesh micro well above a realistic
+// home-AP cache and LAN so the gates hold headroom for growth.
+const (
+	meshResidents = 512
+	meshPeers     = 16
+)
+
+// benchMesh measures the cooperative-mesh control plane: the summary
+// build each AP runs per publish interval (store snapshot + Bloom fill),
+// the summary's wire encode, and a directory lookup across a full peer
+// table where every filter claims the URL (worst case: all peers pass
+// the Bloom probe and the candidate list is sorted).
+func (r *Report) benchMesh(iters int) {
+	const domains = 8
+	store, urls := populatedStore(meshResidents, domains, 0)
+	addr := transport.Addr{Host: "ap00", Port: 80}
+
+	// Min of interleaved rounds, like benchSnapshot: the gates bound
+	// absolute times, so scheduler noise must not count against them.
+	buildIters := iters / 10
+	if buildIters < 10 {
+		buildIters = 10
+	}
+	buildNs := math.Inf(1)
+	for round := 0; round < telemetryRounds; round++ {
+		buildNs = math.Min(buildNs, timeOp(buildIters, func(i int) {
+			coopmesh.BuildSummary("ap00", addr, store, 0, uint64(i), 0)
+		}))
+	}
+
+	sum := coopmesh.BuildSummary("ap00", addr, store, 0, 1, 0)
+	wire, err := sum.Encode()
+	if err != nil {
+		panic(err)
+	}
+	encodeNs := timeOp(iters, func(int) {
+		if _, err := sum.Encode(); err != nil {
+			panic(err)
+		}
+	})
+
+	dir := coopmesh.NewDirectory(&vclock.Real{})
+	for p := 0; p < meshPeers; p++ {
+		node := fmt.Sprintf("ap%02d", p)
+		peer := coopmesh.BuildSummary(node, transport.Addr{Host: node, Port: 80}, store, 0, 1, 0)
+		if err := dir.Ingest(peer); err != nil {
+			panic(err)
+		}
+	}
+	lookupNs := math.Inf(1)
+	for round := 0; round < telemetryRounds; round++ {
+		lookupNs = math.Min(lookupNs, timeOp(iters, func(i int) {
+			dir.Lookup(urls[i%len(urls)], "ap00")
+		}))
+	}
+
+	note := fmt.Sprintf("%d residents over %d domains, %d-byte body", meshResidents, domains, len(wire))
+	r.Micros = append(r.Micros,
+		Micro{Name: "coopmesh/summary-build-512", NsPerOp: buildNs, Note: note},
+		Micro{Name: "coopmesh/summary-encode-512", NsPerOp: encodeNs, Note: note},
+		Micro{Name: "coopmesh/directory-lookup-16peers", NsPerOp: lookupNs, Note: "every peer's filter claims the URL: all probes pass, full candidate sort"},
+	)
+	r.Invariants = append(r.Invariants,
+		Invariant{
+			Name:  "mesh-summary-build-us",
+			Value: round2(buildNs / 1e3),
+			Note:  fmt.Sprintf("build one content summary from a %d-entry store, microseconds (acceptance gate: < %g; encode runs on the publish goroutine, off the request path)", meshResidents, MeshSummaryBuildGateUs),
+		},
+		Invariant{
+			Name:  "mesh-lookup-us",
+			Value: round2(lookupNs / 1e3),
+			Note:  fmt.Sprintf("one directory lookup over %d claiming peers, microseconds (acceptance gate: < %g; paid per mesh-tier miss)", meshPeers, MeshLookupGateUs),
+		},
+	)
+}

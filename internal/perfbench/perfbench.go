@@ -105,6 +105,7 @@ func Run(cfg Config) (*Report, error) {
 	r.benchFreq(iters)
 	r.benchTelemetry(iters)
 	r.benchSnapshot(iters / 10)
+	r.benchMesh(iters)
 
 	if !cfg.Quick {
 		if err := r.runSweeps(cfg); err != nil {

@@ -29,6 +29,8 @@ func TestRunQuick(t *testing.T) {
 		"append-encode-allocs":            false,
 		"telemetry-overhead-pct":          false,
 		"snapshot-build-us":               false,
+		"mesh-summary-build-us":           false,
+		"mesh-lookup-us":                  false,
 	}
 	for _, inv := range r.Invariants {
 		if _, ok := want[inv.Name]; ok {
@@ -89,4 +91,35 @@ func TestSnapshotBuildGate(t *testing.T) {
 		}
 	}
 	t.Fatal("snapshot-build-us invariant missing")
+}
+
+// TestMeshSummaryGate enforces the absolute-time bounds on the
+// cooperative-mesh control plane: summary build under
+// MeshSummaryBuildGateUs and directory lookup under MeshLookupGateUs.
+// Timing-sensitive like the gates above, so it runs only under
+// APECACHE_PERF_GATE=1 (the CI coop-smoke step).
+func TestMeshSummaryGate(t *testing.T) {
+	if os.Getenv("APECACHE_PERF_GATE") == "" {
+		t.Skip("set APECACHE_PERF_GATE=1 to run the mesh summary gate")
+	}
+	var r Report
+	r.benchMesh(2000)
+	gates := map[string]float64{
+		"mesh-summary-build-us": MeshSummaryBuildGateUs,
+		"mesh-lookup-us":        MeshLookupGateUs,
+	}
+	for _, inv := range r.Invariants {
+		gate, ok := gates[inv.Name]
+		if !ok {
+			continue
+		}
+		delete(gates, inv.Name)
+		t.Logf("%s: %.2fµs (gate %gµs)", inv.Name, inv.Value, gate)
+		if inv.Value >= gate {
+			t.Errorf("%s %.2fµs breaches the %gµs gate", inv.Name, inv.Value, gate)
+		}
+	}
+	for name := range gates {
+		t.Errorf("invariant %s missing from report", name)
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"apecache/internal/cachepolicy"
 	"apecache/internal/coherence"
+	"apecache/internal/coopmesh"
 	"apecache/internal/dnswire"
 	"apecache/internal/httplite"
 	"apecache/internal/metrics"
@@ -78,6 +79,7 @@ type Controller struct {
 	fillOrdersC *telemetry.Counter
 
 	fleet *FleetStore
+	mesh  *coopmesh.Directory
 }
 
 // NewController builds a controller.
@@ -118,6 +120,9 @@ func (c *Controller) Start(port uint16) error {
 		mux.HandleFunc("/fleet", c.handleFleet)
 		mux.HandleFunc("/alerts", c.handleAlerts)
 	}
+	if c.mesh != nil {
+		c.mesh.Mount(mux)
+	}
 	c.tel.Register(mux)
 	srv := httplite.NewServer(c.env, mux)
 	c.env.Go("wicache.controller", func() { srv.Serve(l) })
@@ -136,6 +141,20 @@ func (c *Controller) EnableFleet(cfg FleetConfig) *FleetStore {
 // Fleet returns the attached fleet store, nil when fleet observability
 // is not enabled.
 func (c *Controller) Fleet() *FleetStore { return c.fleet }
+
+// EnableMesh attaches a cooperative-mesh directory to the controller and
+// mounts the /mesh routes when Start runs. Call it before Start; call
+// Instrument first if mesh counters should land in the controller's
+// telemetry bundle.
+func (c *Controller) EnableMesh() *coopmesh.Directory {
+	c.mesh = coopmesh.NewDirectory(c.env)
+	c.mesh.Instrument(c.tel)
+	return c.mesh
+}
+
+// Mesh returns the attached mesh directory, nil when the mesh is not
+// enabled.
+func (c *Controller) Mesh() *coopmesh.Directory { return c.mesh }
 
 // handleSnapshot ingests one pushed AP telemetry snapshot.
 func (c *Controller) handleSnapshot(req *httplite.Request) *httplite.Response {
@@ -199,6 +218,11 @@ func (c *Controller) handlePurge(req *httplite.Request) *httplite.Response {
 	c.Purges++
 	c.purgesC.Inc()
 	delete(c.locations, msg.URL)
+	if c.mesh != nil {
+		// Tombstone the URL in the mesh directory so lookups stop
+		// offering peers whose summaries predate the purge.
+		c.mesh.Purge(msg.URL)
+	}
 	body, _ := json.Marshal(msg)
 	for name, addr := range c.apAddrs {
 		name, addr := name, addr
