@@ -15,6 +15,7 @@
 //	apectl fleet -addr 127.0.0.1:9090           # controller fleet view: health, latency, alerts
 //	apectl alerts -addr 127.0.0.1:9090          # SLO alert states and transition history
 //	apectl peers -addr 127.0.0.1:9090           # mesh directory: published content summaries
+//	apectl bus -hub 127.0.0.1:8080              # coherence hub counters: publications, relays, queue depth, drops
 //	apectl purge -hub 127.0.0.1:8080 \
 //	       -url http://api.demo.example/obj0 -version 1   # push a purge
 //	apectl purge -hub 127.0.0.1:8080 \
@@ -92,6 +93,8 @@ func main() {
 		err = runAlerts(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "peers":
 		err = runPeers(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "bus":
+		err = runBus(os.Args[2:])
 	default:
 		ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
 		raw := flag.Bool("raw", false, "print the raw JSON status")
@@ -432,6 +435,45 @@ func runPeers(args []string) error {
 		fmt.Printf("%-18s  %-21s  %7d  %7d  %5d  %3d  %7.1f\n",
 			p.Node, fmt.Sprintf("%s:%d", p.Addr.Host, p.Addr.Port),
 			p.Entries, p.Domains, p.Seq, p.Generation, p.AgeSec)
+	}
+	return nil
+}
+
+// runBus fetches the coherence hub's stats route and renders the bus
+// counters: publications accepted, per-subscriber relays, and — when the
+// sharded dispatcher is enabled — queue depth, wire batches, drops and
+// evictions.
+func runBus(args []string) error {
+	fs := flag.NewFlagSet("bus", flag.ExitOnError)
+	hub := fs.String("hub", "127.0.0.1:8080", "coherence hub (edged edge endpoint) host:port")
+	raw := fs.Bool("raw", false, "print the raw JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := fetch(*hub, coherence.PathStats)
+	if err != nil {
+		return err
+	}
+	if *raw {
+		fmt.Print(string(body))
+		return nil
+	}
+	var st coherence.HubStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("decode bus stats: %w", err)
+	}
+	fmt.Printf("subscribers   %d\n", st.Subscribers)
+	fmt.Printf("published     %d\n", st.Published)
+	fmt.Printf("relayed       %d\n", st.Relayed)
+	fmt.Printf("evicted       %d\n", st.Evicted)
+	if d := st.Dispatch; d != nil {
+		fmt.Printf("fan-out       sharded (%d shards, %d workers)\n", d.Shards, d.Workers)
+		fmt.Printf("queued        %d\n", d.Queued)
+		fmt.Printf("wire batches  %d\n", d.Batches)
+		fmt.Printf("delivered     %d\n", d.Delivered)
+		fmt.Printf("dropped       %d\n", d.Dropped)
+	} else {
+		fmt.Printf("fan-out       legacy (one delivery task per subscriber)\n")
 	}
 	return nil
 }

@@ -37,6 +37,8 @@ func main() {
 		policy   = flag.String("policy", "pacm", "eviction policy: pacm or lru")
 		cohMode  = flag.String("coherence", "off", "coherence mode: off, invalidate or swr")
 		busFlag  = flag.String("bus", "", "coherence hub host:port (default: the -edge endpoint)")
+		purgeB   = flag.Bool("purge-batch", false, "accept coalesced MsgBatch purge deliveries from a sharded hub")
+		purgeDom = flag.String("purge-domains", "", "comma-separated domain interest announced to a sharded hub (empty: receive every purge)")
 		fleet    = flag.String("fleet", "", "fleet controller host:port for telemetry snapshot pushes (empty: disabled)")
 		snapIntv = flag.Duration("snapshot-interval", 10*time.Second, "telemetry snapshot push cadence (with -fleet)")
 		node     = flag.String("node", "", "fleet/mesh node name (default ap:<ip>:<http-port>; must be unique per AP)")
@@ -44,13 +46,19 @@ func main() {
 		meshIntv = flag.Duration("mesh-interval", 5*time.Second, "content summary publish cadence (with -mesh)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node, *mesh, *meshIntv); err != nil {
+	var domains []string
+	for _, d := range strings.Split(*purgeDom, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			domains = append(domains, d)
+		}
+	}
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node, *mesh, *meshIntv, *purgeB, domains); err != nil {
 		fmt.Fprintln(os.Stderr, "aped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node, mesh string, meshIntv time.Duration) error {
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node, mesh string, meshIntv time.Duration, purgeBatch bool, purgeDomains []string) error {
 	upstreamAddr, err := parseAddr(upstream)
 	if err != nil {
 		return fmt.Errorf("bad -upstream: %w", err)
@@ -108,6 +116,8 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 		HTTPPort:         httpPort,
 		Coherence:        mode,
 		BusAddr:          busAddr,
+		PurgeBatch:       purgeBatch,
+		PurgeDomains:     purgeDomains,
 		FleetAddr:        fleetAddr,
 		SnapshotInterval: snapIntv,
 		NodeName:         node,

@@ -38,15 +38,19 @@ func main() {
 		objects    = flag.Int("objects", 8, "objects per domain")
 		seed       = flag.Int64("seed", 1, "catalog generation seed")
 		fleetPort  = flag.Uint("fleet-port", 0, "TCP port of the fleet observability controller (0: disabled)")
+		busShards  = flag.Int("bus-shards", 0, "enable the sharded, batched purge fan-out with this many domain shards (0: legacy per-delivery relay)")
+		busFlush   = flag.Duration("bus-flush", 0, "purge coalescing flush interval (with -bus-shards; 0: default)")
+		busBatch   = flag.Int("bus-batch", 0, "max purge messages per wire batch (with -bus-shards; 0: default)")
 	)
 	flag.Parse()
-	if err := run(*ip, uint16(*edgePort), uint16(*originPort), uint16(*fleetPort), strings.Split(*domains, ","), *objects, *seed); err != nil {
+	if err := run(*ip, uint16(*edgePort), uint16(*originPort), uint16(*fleetPort), strings.Split(*domains, ","), *objects, *seed,
+		coherence.DispatchConfig{Shards: *busShards, FlushInterval: *busFlush, MaxBatch: *busBatch}); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, perDomain int, seed int64) error {
+func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, perDomain int, seed int64, dispatch coherence.DispatchConfig) error {
 	env := apecache.RealEnv()
 	host := apecache.NewRealHost(ip)
 	rng := rand.New(rand.NewSource(seed))
@@ -86,6 +90,9 @@ func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, pe
 	edge.Instrument(tel)
 	hub := coherence.NewHub(env, host, func(m coherence.Msg) { edge.Invalidate(m.URL) })
 	hub.Instrument(tel)
+	if dispatch.Shards > 0 {
+		hub.EnableDispatch(dispatch)
+	}
 	edgeL, err := host.Listen(edgePort)
 	if err != nil {
 		return err
@@ -101,6 +108,11 @@ func run(ip string, edgePort, originPort, fleetPort uint16, domains []string, pe
 		originL.Addr(), edgeL.Addr(), catalog.Len(), len(catalog.Domains()))
 	fmt.Printf("edged: coherence bus on %s%s (publish) and %s (subscribe)\n",
 		edgeL.Addr(), coherence.PathPublish, coherence.PathSubscribe)
+	if d := hub.Dispatcher(); d != nil {
+		cfg := d.Config()
+		fmt.Printf("edged: sharded purge fan-out: %d shards, %d workers, flush %v, batches up to %d (stats at %s)\n",
+			cfg.Shards, cfg.Workers, cfg.FlushInterval, cfg.MaxBatch, coherence.PathStats)
+	}
 	fmt.Printf("edged: telemetry on %s/metrics, /debug/vars, /debug/pprof, /trace, /events\n", edgeL.Addr())
 	if fleetPort != 0 {
 		ctl := wicache.NewController(env, host)

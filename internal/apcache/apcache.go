@@ -90,6 +90,15 @@ type Config struct {
 	// BusAddr is the coherence hub to subscribe to; zero means the hub is
 	// colocated with the edge at EdgeAddr.
 	BusAddr transport.Addr
+	// PurgeBatch announces batch capability when subscribing: a sharded
+	// hub then coalesces this AP's purge deliveries into MsgBatch bodies.
+	// Off by default — the plain registration stays byte-identical to the
+	// legacy wire.
+	PurgeBatch bool
+	// PurgeDomains registers domain interest when subscribing: a sharded
+	// hub only delivers purges whose URL domain shares a shard with one
+	// of these. Empty means "deliver everything".
+	PurgeDomains []string
 	// SweepInterval overrides DefaultSweepInterval when positive (the
 	// background expired-entry sweep period).
 	SweepInterval time.Duration

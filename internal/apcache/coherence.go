@@ -26,18 +26,27 @@ const (
 	delegateWaitRounds   = 500
 )
 
-// subscribeBus registers the AP's /purge endpoint with the coherence hub.
+// subscribeBus registers the AP's /purge endpoint with the coherence
+// hub, carrying the AP's domain interest and batch capability when the
+// config declares them (the default registration marshals byte-identical
+// to the legacy form, so plain deployments stay on the old wire).
 func (ap *AP) subscribeBus() error {
 	bus := ap.cfg.BusAddr
 	if bus.IsZero() {
 		bus = ap.cfg.EdgeAddr
+	}
+	sub := coherence.Subscription{
+		Addr:    ap.HTTPAddr(),
+		Path:    coherence.DefaultPurgePath,
+		Domains: ap.cfg.PurgeDomains,
+		Batch:   ap.cfg.PurgeBatch,
 	}
 	var err error
 	for attempt := 0; attempt < subscribeAttempts; attempt++ {
 		if attempt > 0 {
 			ap.cfg.Env.Sleep(subscribeBackoff)
 		}
-		err = coherence.Subscribe(ap.edge, bus, ap.HTTPAddr(), coherence.DefaultPurgePath)
+		err = coherence.SubscribeWith(ap.edge, bus, sub)
 		if err == nil {
 			return nil
 		}
@@ -45,28 +54,33 @@ func (ap *AP) subscribeBus() error {
 	return fmt.Errorf("coherence subscribe (%s): %w", ap.cfg.Coherence, err)
 }
 
-// handlePurge serves POST /purge: one relayed bus message. ModeInvalidate
-// evicts the copy; ModeSWR keeps it servable once and starts a background
-// conditional re-fetch.
+// handlePurge serves POST /purge: relayed bus messages in either wire
+// form (a single Msg, or a MsgBatch when the AP subscribed with
+// PurgeBatch). ModeInvalidate evicts each copy; ModeSWR keeps it
+// servable once and starts a background conditional re-fetch.
 func (ap *AP) handlePurge(req *httplite.Request) *httplite.Response {
-	msg, err := coherence.ParseMsg(req.Body)
+	msgs, err := coherence.ParseMsgs(req.Body)
 	if err != nil {
 		return httplite.NewResponse(400, []byte(err.Error()))
 	}
-	ap.mu.Lock()
-	ap.Purges++
-	ap.mu.Unlock()
-	ap.tel.purges.Inc()
 	keepStale := ap.cfg.Coherence == coherence.ModeSWR
-	_, stale := ap.store.Purge(msg.URL, msg.Version, msg.Gone, keepStale)
-	if ap.mesh != nil && ap.mesh.publisher != nil {
-		// The published summary may still advertise the purged bytes;
-		// bump the generation so the next publication supersedes it.
-		ap.mesh.publisher.Bump()
-	}
-	if stale {
-		url := msg.URL
-		ap.cfg.Env.Go("apcache.revalidate", func() { ap.revalidate(url) })
+	bumped := false
+	for _, msg := range msgs {
+		ap.mu.Lock()
+		ap.Purges++
+		ap.mu.Unlock()
+		ap.tel.purges.Inc()
+		_, stale := ap.store.Purge(msg.URL, msg.Version, msg.Gone, keepStale)
+		if !bumped && ap.mesh != nil && ap.mesh.publisher != nil {
+			// The published summary may still advertise the purged bytes;
+			// bump the generation so the next publication supersedes it.
+			ap.mesh.publisher.Bump()
+			bumped = true
+		}
+		if stale {
+			url := msg.URL
+			ap.cfg.Env.Go("apcache.revalidate", func() { ap.revalidate(url) })
+		}
 	}
 	return httplite.NewResponse(200, nil)
 }

@@ -1,0 +1,51 @@
+package coherence
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MsgBatch is the coalesced wire form of several purge messages: one POST
+// to a batch-capable subscriber carries every purge queued for it since
+// the last dispatcher flush. Subscribers declare batch capability at
+// subscribe time (Subscription.Batch); legacy endpoints keep receiving
+// one single-Msg body per purge, so the two wire forms coexist on the
+// same bus.
+type MsgBatch struct {
+	Msgs []Msg `json:"msgs"`
+}
+
+// EncodeBatch marshals msgs as a MsgBatch body.
+func EncodeBatch(msgs []Msg) []byte {
+	body, _ := json.Marshal(MsgBatch{Msgs: msgs})
+	return body
+}
+
+// ParseMsgs decodes a purge delivery body in either wire form: a single
+// Msg object (the legacy form, accepted byte-for-byte as before) or a
+// MsgBatch. Every message comes back canonicalized, exactly as ParseMsg
+// would return it.
+func ParseMsgs(body []byte) ([]Msg, error) {
+	var probe struct {
+		Msgs []Msg `json:"msgs"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return nil, fmt.Errorf("coherence: decode purge: %w", err)
+	}
+	if probe.Msgs == nil {
+		m, err := ParseMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		return []Msg{m}, nil
+	}
+	out := make([]Msg, 0, len(probe.Msgs))
+	for _, m := range probe.Msgs {
+		m = m.Canonical()
+		if m.URL == "" {
+			return nil, fmt.Errorf("coherence: batched purge without url")
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -135,24 +135,41 @@ const (
 	PathPrefix    = "/_coherence"
 	PathSubscribe = PathPrefix + "/subscribe"
 	PathPublish   = PathPrefix + "/publish"
+	PathStats     = PathPrefix + "/stats"
 	// DefaultPurgePath is where subscribers receive relayed purges.
 	DefaultPurgePath = "/purge"
 )
 
-// subscription is one registered downstream cache.
-type subscription struct {
+// Subscription is one registered downstream cache. The optional fields
+// marshal to nothing when unset, so legacy subscribe bodies stay
+// byte-identical.
+type Subscription struct {
 	Addr transport.Addr `json:"addr"`
 	Path string         `json:"path"`
+	// Domains declares which object domains this subscriber can hold. A
+	// sharded hub then delivers only the purges whose URL domain hashes
+	// into one of the matching shards; empty means "deliver everything".
+	Domains []string `json:"domains,omitempty"`
+	// Batch declares that the endpoint accepts MsgBatch bodies (it parses
+	// purges with ParseMsgs), letting the dispatcher coalesce deliveries.
+	Batch bool `json:"batch,omitempty"`
 }
 
 // Subscribe registers addr/path with the hub at hubAddr so relayed purges
 // arrive as POST path at addr. client must dial from the subscriber's own
 // host. Re-subscribing the same addr/path is idempotent.
 func Subscribe(client *httplite.Client, hubAddr, addr transport.Addr, path string) error {
-	if path == "" {
-		path = DefaultPurgePath
+	return SubscribeWith(client, hubAddr, Subscription{Addr: addr, Path: path})
+}
+
+// SubscribeWith is Subscribe with the full subscription record: domain
+// interest and batch capability included. Re-subscribing the same Addr
+// replaces the previous registration.
+func SubscribeWith(client *httplite.Client, hubAddr transport.Addr, sub Subscription) error {
+	if sub.Path == "" {
+		sub.Path = DefaultPurgePath
 	}
-	body, err := json.Marshal(subscription{Addr: addr, Path: path})
+	body, err := json.Marshal(sub)
 	if err != nil {
 		return fmt.Errorf("coherence: encode subscription: %w", err)
 	}
@@ -193,8 +210,11 @@ func ParseMsg(body []byte) (Msg, error) {
 	if err := json.Unmarshal(body, &m); err != nil {
 		return Msg{}, fmt.Errorf("coherence: decode purge: %w", err)
 	}
+	m = m.Canonical()
+	// Checked after canonicalization: a URL of stripped-away parts (a
+	// bare fragment, say) reduces to nothing.
 	if m.URL == "" {
 		return Msg{}, fmt.Errorf("coherence: purge without url")
 	}
-	return m.Canonical(), nil
+	return m, nil
 }

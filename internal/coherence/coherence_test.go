@@ -154,8 +154,12 @@ func TestHubFanOut(t *testing.T) {
 				t.Errorf("%s received %+v, want one v2 purge", name, msgs)
 			}
 		}
-		if hub.Published != 1 || hub.Relayed != 2 {
-			t.Errorf("hub counters published=%d relayed=%d, want 1/2", hub.Published, hub.Relayed)
+		if hub.Published.Load() != 1 || hub.Relayed.Load() != 2 {
+			t.Errorf("hub counters published=%d relayed=%d, want 1/2", hub.Published.Load(), hub.Relayed.Load())
+		}
+		st := hub.Stats()
+		if st.Published != 1 || st.Relayed != 2 || st.Subscribers != 2 || st.Dispatch != nil {
+			t.Errorf("hub stats = %+v, want published=1 relayed=2 subscribers=2 no dispatch", st)
 		}
 
 		// The wrapped edge handler still serves ordinary paths.
@@ -181,7 +185,7 @@ func TestHubResubscribeReplacesEndpoint(t *testing.T) {
 	hub := NewHub(sim, net.Node("edge"), nil)
 	subscribe := func(addr transport.Addr, path string) {
 		t.Helper()
-		body, err := json.Marshal(subscription{Addr: addr, Path: path})
+		body, err := json.Marshal(Subscription{Addr: addr, Path: path})
 		if err != nil {
 			t.Fatal(err)
 		}

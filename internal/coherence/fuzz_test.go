@@ -1,0 +1,39 @@
+package coherence
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseMsgs fuzzes the dual-form purge decoder. Rejecting garbage is
+// fine; panicking is not; and anything accepted must survive a
+// batch-encode round trip unchanged (the decoder canonicalizes, so a
+// decoded batch is a fixed point).
+func FuzzParseMsgs(f *testing.F) {
+	f.Add([]byte(`{"url":"http://a.example/x?q=1","version":3}`))
+	f.Add([]byte(`{"url":"http://a.example/x","version":1,"gone":true}`))
+	f.Add([]byte(`{"msgs":[{"url":"http://a.example/x","version":1},{"url":"http://b.example/y","version":2,"gone":true}]}`))
+	f.Add([]byte(`{"msgs":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add(EncodeBatch([]Msg{{URL: "http://c.example/z", Version: 9}}))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		msgs, err := ParseMsgs(body)
+		if err != nil {
+			return
+		}
+		for _, m := range msgs {
+			if m.URL == "" {
+				t.Fatalf("accepted purge without url: %q", body)
+			}
+		}
+		re := EncodeBatch(msgs)
+		again, err := ParseMsgs(re)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", re, err)
+		}
+		if !reflect.DeepEqual(msgs, again) {
+			t.Fatalf("round trip diverged: %+v vs %+v", msgs, again)
+		}
+	})
+}

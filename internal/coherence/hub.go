@@ -3,6 +3,7 @@ package coherence
 import (
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 
 	"apecache/internal/httplite"
 	"apecache/internal/telemetry"
@@ -13,8 +14,15 @@ import (
 // Hub is the invalidation bus: it accepts purge publications from the
 // origin, applies them locally (normally to the colocated edge cache)
 // and relays them to every subscribed downstream cache. It implements
-// httplite.Handler for the PathSubscribe and PathPublish routes, so it
-// shares the edge server's port via Wrap.
+// httplite.Handler for the PathSubscribe, PathPublish and PathStats
+// routes, so it shares the edge server's port via Wrap.
+//
+// Two fan-out engines exist. The default relays each publication to all
+// subscribers, one background task per delivery — simple, and fine for
+// a handful of downstreams. EnableDispatch switches the hub to the
+// sharded, batched Dispatcher so publication cost stays near-independent
+// of fleet size; the wire stays compatible either way (subscribers that
+// did not declare Batch keep receiving single-Msg bodies).
 type Hub struct {
 	env    vclock.Env
 	client *httplite.Client
@@ -22,12 +30,25 @@ type Hub struct {
 	// revalidating AP never re-fetches the stale bytes it just purged.
 	onPurge func(Msg)
 
-	mu   sync.Mutex
-	subs []subscription
-	// Published counts accepted purge publications, Relayed the per-
-	// subscriber deliveries attempted. Read them only from quiescent code.
-	Published int
-	Relayed   int
+	// MaxFailures is the consecutive delivery-failure count after which
+	// the legacy fan-out evicts a subscriber (restarts re-subscribe via
+	// the idempotent replace path). Zero means DefaultMaxFailures;
+	// negative disables eviction. Set before serving traffic. A
+	// dispatcher, when enabled, applies its own DispatchConfig bound.
+	MaxFailures int
+
+	mu       sync.Mutex
+	subs     []Subscription
+	failures map[string]int // legacy path: consecutive failures by Addr.String()
+	dispatch *Dispatcher
+
+	// Published counts accepted purge publications, Relayed the
+	// per-subscriber deliveries attempted (message granularity, whatever
+	// the wire batching). Atomics: safe to read live, e.g. from the
+	// stats route.
+	Published atomic.Int64
+	Relayed   atomic.Int64
+	evicted   atomic.Int64
 
 	tel       *telemetry.Telemetry
 	published *telemetry.Counter
@@ -42,9 +63,7 @@ func (h *Hub) Instrument(tel *telemetry.Telemetry) {
 	}
 	m := tel.Metrics
 	m.GaugeFunc("coherence_subscribers", "downstream caches registered on the bus", func() float64 {
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		return float64(len(h.subs))
+		return float64(len(h.Subscribers()))
 	})
 	h.mu.Lock()
 	h.tel = tel
@@ -56,7 +75,37 @@ func (h *Hub) Instrument(tel *telemetry.Telemetry) {
 // NewHub builds a hub that dials subscribers from host. onPurge may be
 // nil when there is no colocated cache to invalidate.
 func NewHub(env vclock.Env, host transport.Host, onPurge func(Msg)) *Hub {
-	return &Hub{env: env, client: httplite.NewClient(host), onPurge: onPurge}
+	return &Hub{
+		env:      env,
+		client:   httplite.NewClient(host),
+		onPurge:  onPurge,
+		failures: make(map[string]int),
+	}
+}
+
+// EnableDispatch switches the hub's fan-out to a sharded, batched
+// dispatcher (starting its worker pool on the hub's env) and returns it.
+// Call before serving traffic, from a sim task when under the virtual
+// clock; already-registered subscribers migrate over.
+func (h *Hub) EnableDispatch(cfg DispatchConfig) *Dispatcher {
+	d := NewDispatcher(h.env, h.client, cfg)
+	h.mu.Lock()
+	migrate := h.subs
+	h.subs = nil
+	h.dispatch = d
+	h.mu.Unlock()
+	for _, sub := range migrate {
+		d.Register(sub)
+	}
+	return d
+}
+
+// Dispatcher returns the attached dispatcher, nil when the hub runs the
+// legacy per-delivery fan-out.
+func (h *Hub) Dispatcher() *Dispatcher {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dispatch
 }
 
 var _ httplite.Handler = (*Hub)(nil)
@@ -64,12 +113,46 @@ var _ httplite.Handler = (*Hub)(nil)
 // Subscribers returns a snapshot of the registered subscriber endpoints.
 func (h *Hub) Subscribers() []transport.Addr {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]transport.Addr, 0, len(h.subs))
-	for _, s := range h.subs {
+	d := h.dispatch
+	subs := h.subs
+	if d == nil {
+		subs = append([]Subscription(nil), subs...)
+	}
+	h.mu.Unlock()
+	if d != nil {
+		subs = d.Subscribers()
+	}
+	out := make([]transport.Addr, 0, len(subs))
+	for _, s := range subs {
 		out = append(out, s.Addr)
 	}
 	return out
+}
+
+// HubStats is the PathStats payload.
+type HubStats struct {
+	Published   int64          `json:"published"`
+	Relayed     int64          `json:"relayed"`
+	Subscribers int            `json:"subscribers"`
+	Evicted     int64          `json:"evicted"`
+	Dispatch    *DispatchStats `json:"dispatch,omitempty"`
+}
+
+// Stats snapshots the hub counters (and the dispatcher's, when one is
+// enabled).
+func (h *Hub) Stats() HubStats {
+	st := HubStats{
+		Published:   h.Published.Load(),
+		Relayed:     h.Relayed.Load(),
+		Subscribers: len(h.Subscribers()),
+		Evicted:     h.evicted.Load(),
+	}
+	if d := h.Dispatcher(); d != nil {
+		ds := d.Stats()
+		st.Evicted += ds.Evicted
+		st.Dispatch = &ds
+	}
+	return st
 }
 
 // ServeHTTP implements httplite.Handler for the bus routes.
@@ -79,6 +162,8 @@ func (h *Hub) ServeHTTP(req *httplite.Request) *httplite.Response {
 		return h.handleSubscribe(req)
 	case req.Path == PathPublish:
 		return h.handlePublish(req)
+	case req.Path == PathStats:
+		return h.handleStats(req)
 	default:
 		return httplite.NewResponse(404, []byte("unknown bus route"))
 	}
@@ -93,8 +178,18 @@ func (h *Hub) Wrap(next httplite.Handler) httplite.Handler {
 	return mux
 }
 
+func (h *Hub) handleStats(req *httplite.Request) *httplite.Response {
+	body, err := json.MarshalIndent(h.Stats(), "", "  ")
+	if err != nil {
+		return httplite.NewResponse(500, []byte(err.Error()))
+	}
+	resp := httplite.NewResponse(200, body)
+	resp.Set("Content-Type", "application/json")
+	return resp
+}
+
 func (h *Hub) handleSubscribe(req *httplite.Request) *httplite.Response {
-	var sub subscription
+	var sub Subscription
 	if err := json.Unmarshal(req.Body, &sub); err != nil || sub.Addr.IsZero() {
 		return httplite.NewResponse(400, []byte("bad subscription body"))
 	}
@@ -102,7 +197,13 @@ func (h *Hub) handleSubscribe(req *httplite.Request) *httplite.Response {
 		sub.Path = DefaultPurgePath
 	}
 	h.mu.Lock()
+	if d := h.dispatch; d != nil {
+		h.mu.Unlock()
+		d.Register(sub)
+		return httplite.NewResponse(200, nil)
+	}
 	defer h.mu.Unlock()
+	delete(h.failures, sub.Addr.String())
 	for i, s := range h.subs {
 		if s.Addr == sub.Addr {
 			// Idempotent re-subscribe: one endpoint holds exactly one
@@ -128,11 +229,23 @@ func (h *Hub) handlePublish(req *httplite.Request) *httplite.Response {
 	if h.onPurge != nil {
 		h.onPurge(msg)
 	}
+	if d := h.Dispatcher(); d != nil {
+		n := d.Publish(msg)
+		h.Published.Add(1)
+		h.Relayed.Add(int64(n))
+		h.mu.Lock()
+		tel := h.tel
+		h.mu.Unlock()
+		h.published.Inc()
+		h.relayed.Add(int64(n))
+		tel.Emit("purge", "url", msg.URL, "version", msg.Version, "gone", msg.Gone, "subscribers", n)
+		return httplite.NewResponse(200, nil)
+	}
 	h.mu.Lock()
-	h.Published++
-	subs := make([]subscription, len(h.subs))
+	h.Published.Add(1)
+	subs := make([]Subscription, len(h.subs))
 	copy(subs, h.subs)
-	h.Relayed += len(subs)
+	h.Relayed.Add(int64(len(subs)))
 	tel := h.tel
 	h.published.Inc()
 	h.relayed.Add(int64(len(subs)))
@@ -149,8 +262,41 @@ func (h *Hub) handlePublish(req *httplite.Request) *httplite.Response {
 		h.env.Go("coherence.relay", func() {
 			preq := httplite.NewRequest("POST", sub.Addr.Host, sub.Path)
 			preq.Body = body
-			_, _ = h.client.Do(sub.Addr, preq)
+			resp, derr := h.client.Do(sub.Addr, preq)
+			h.deliveryResult(sub.Addr, derr == nil && resp.Status == 200)
 		})
 	}
 	return httplite.NewResponse(200, nil)
+}
+
+// deliveryResult tracks consecutive legacy-path delivery failures and
+// evicts an endpoint once they reach MaxFailures: a dead AP must not be
+// dialed on every purge forever, and its restart re-subscribes anyway.
+func (h *Hub) deliveryResult(addr transport.Addr, ok bool) {
+	limit := h.MaxFailures
+	if limit == 0 {
+		limit = DefaultMaxFailures
+	}
+	if limit < 0 {
+		return
+	}
+	key := addr.String()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		delete(h.failures, key)
+		return
+	}
+	h.failures[key]++
+	if h.failures[key] < limit {
+		return
+	}
+	delete(h.failures, key)
+	for i, s := range h.subs {
+		if s.Addr == addr {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			h.evicted.Add(1)
+			return
+		}
+	}
 }

@@ -1,0 +1,30 @@
+package perfbench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFanoutScalingGate enforces the flat-publication bound: growing the
+// subscriber fleet 16x must not grow the sharded publication cost past
+// FanoutScalingGate. Timing-sensitive like the other gates, so it runs
+// at full iteration counts and only under APECACHE_PERF_GATE=1 (the CI
+// fleet-storm smoke step).
+func TestFanoutScalingGate(t *testing.T) {
+	if os.Getenv("APECACHE_PERF_GATE") == "" {
+		t.Skip("set APECACHE_PERF_GATE=1 to run the fan-out scaling gate")
+	}
+	var r Report
+	r.benchFanout(20000)
+	for _, inv := range r.Invariants {
+		if inv.Name != "fanout-publish-scaling-sharded" {
+			continue
+		}
+		t.Logf("sharded publish scaling 64 -> 1024 subs: %.2fx (gate %gx)", inv.Value, FanoutScalingGate)
+		if inv.Value >= FanoutScalingGate {
+			t.Errorf("sharded publication cost scaled %.2fx across a 16x fleet, gate is %gx", inv.Value, FanoutScalingGate)
+		}
+		return
+	}
+	t.Fatal("fanout-publish-scaling-sharded invariant missing")
+}

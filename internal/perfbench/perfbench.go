@@ -106,6 +106,7 @@ func Run(cfg Config) (*Report, error) {
 	r.benchTelemetry(iters)
 	r.benchSnapshot(iters / 10)
 	r.benchMesh(iters)
+	r.benchFanout(iters)
 
 	if !cfg.Quick {
 		if err := r.runSweeps(cfg); err != nil {
@@ -445,6 +446,41 @@ func (r *Report) runSweeps(cfg Config) error {
 		return fmt.Errorf("perfbench: table4: %w", err)
 	}
 	r.Sweeps = append(r.Sweeps, Sweep{ID: res.ID, Title: res.Title, Header: res.Header, Rows: res.Rows})
+
+	// The fleet-storm scenario: relay amplification under the two fan-out
+	// planes, with the worst observed reduction pinned as an invariant.
+	storm, ok := experiments.ByID("fleet-storm")
+	if !ok {
+		return fmt.Errorf("perfbench: fleet-storm not registered")
+	}
+	sres, err := storm.Run(rc)
+	if err != nil {
+		return fmt.Errorf("perfbench: fleet-storm: %w", err)
+	}
+	r.Sweeps = append(r.Sweeps, Sweep{ID: sres.ID, Title: sres.Title, Header: sres.Header, Rows: sres.Rows})
+	reductions, match := experiments.StormOutcome(sres)
+	minRed := 0.0
+	for i, v := range reductions {
+		if i == 0 || v < minRed {
+			minRed = v
+		}
+	}
+	matchVal := 0.0
+	if match {
+		matchVal = 1
+	}
+	r.Invariants = append(r.Invariants,
+		Invariant{
+			Name:  "fleet-storm-relay-reduction-x",
+			Value: round2(minRed),
+			Note:  "worst relay-message reduction, sharded over legacy fan-out, across storm fleet sizes (acceptance bar: >= 10)",
+		},
+		Invariant{
+			Name:  "fleet-storm-effective-match",
+			Value: matchVal,
+			Note:  "1 when the sharded plane purged exactly the resident set the legacy broadcast purged",
+		},
+	)
 	if len(res.Rows) > 0 && len(res.Rows[0]) >= 4 {
 		row := res.Rows[0]
 		for i, name := range []string{"pacm-avg", "pacm-high", "lru"} {

@@ -31,6 +31,9 @@ func TestRunQuick(t *testing.T) {
 		"snapshot-build-us":               false,
 		"mesh-summary-build-us":           false,
 		"mesh-lookup-us":                  false,
+		"fanout-publish-scaling-legacy":   false,
+		"fanout-publish-scaling-sharded":  false,
+		"fanout-publish-speedup-1024":     false,
 	}
 	for _, inv := range r.Invariants {
 		if _, ok := want[inv.Name]; ok {

@@ -86,7 +86,7 @@ func TestControllerPurgeFanOutToFleet(t *testing.T) {
 				return
 			}
 		}
-		controller.locations[obj.URL] = "ap1"
+		controller.locations[obj.URL] = []string{"ap1"}
 
 		// The origin mutates and publishes the purge.
 		v, ok := catalog.Mutate(obj.URL)

@@ -57,9 +57,11 @@ type Controller struct {
 	env    vclock.Env
 	host   transport.Host
 	client *httplite.Client
-	// locations maps basic URL -> AP name; apAddrs maps AP name -> fill
-	// endpoint.
-	locations map[string]string
+	// locations maps basic URL -> holder AP names, most recent reporter
+	// first: the serve path redirects to the front (the old last-wins
+	// behaviour), while a dispatching purge relay targets the whole set.
+	// apAddrs maps AP name -> fill endpoint.
+	locations map[string][]string
 	apAddrs   map[string]transport.Addr
 	apServe   map[string]transport.Addr
 	listener  transport.Listener
@@ -78,8 +80,9 @@ type Controller struct {
 	relaysC     *telemetry.Counter
 	fillOrdersC *telemetry.Counter
 
-	fleet *FleetStore
-	mesh  *coopmesh.Directory
+	fleet    *FleetStore
+	mesh     *coopmesh.Directory
+	dispatch *coherence.Dispatcher
 }
 
 // NewController builds a controller.
@@ -88,7 +91,7 @@ func NewController(env vclock.Env, host transport.Host) *Controller {
 		env:       env,
 		host:      host,
 		client:    httplite.NewClient(host),
-		locations: make(map[string]string),
+		locations: make(map[string][]string),
 		apAddrs:   make(map[string]transport.Addr),
 		apServe:   make(map[string]transport.Addr),
 	}
@@ -99,7 +102,35 @@ func NewController(env vclock.Env, host transport.Host) *Controller {
 func (c *Controller) RegisterAP(name string, fillAddr, serveAddr transport.Addr) {
 	c.apAddrs[name] = fillAddr
 	c.apServe[name] = serveAddr
+	if c.dispatch != nil {
+		// Hierarchical fan-out: the AP becomes a batch-capable target of
+		// the controller's own dispatcher (Wi-Cache APs parse both wire
+		// forms), so controller->AP relays ride bounded queues too.
+		c.dispatch.Register(coherence.Subscription{
+			Addr:  fillAddr,
+			Path:  coherence.DefaultPurgePath,
+			Batch: true,
+		})
+	}
 }
+
+// EnableDispatch replaces the controller's goroutine-per-AP purge relay
+// with a sharded, batched dispatcher: relayed purges are location-
+// targeted (only APs recorded as holding the object are dialed) and
+// coalesced into MsgBatch deliveries.
+// Call before Start and before RegisterAP, from a sim task when under
+// the virtual clock. Returns the dispatcher for stats.
+func (c *Controller) EnableDispatch(cfg coherence.DispatchConfig) *coherence.Dispatcher {
+	c.dispatch = coherence.NewDispatcher(c.env, c.client, cfg)
+	for _, addr := range c.apAddrs {
+		c.dispatch.Register(coherence.Subscription{Addr: addr, Path: coherence.DefaultPurgePath, Batch: true})
+	}
+	return c.dispatch
+}
+
+// Dispatch returns the controller's relay dispatcher, nil when the
+// legacy per-delivery relay is active.
+func (c *Controller) Dispatch() *coherence.Dispatcher { return c.dispatch }
 
 // Start binds the controller port.
 func (c *Controller) Start(port uint16) error {
@@ -207,32 +238,68 @@ func (c *Controller) SubscribeBus(hubAddr transport.Addr) error {
 	return coherence.Subscribe(c.client, hubAddr, c.Addr(), coherence.DefaultPurgePath)
 }
 
-// handlePurge applies one bus message: the location entry is dropped (the
-// next locate misses and triggers a fresh fill) and the purge is relayed
-// to every registered AP so resident LRU copies are evicted too.
+// SubscribeBusWith is SubscribeBus with the sharded-bus registration
+// fields: domains declares which object domains this controller's APs
+// serve (a sharded hub then skips it for everything else), and the
+// controller announces batch capability so hub deliveries coalesce.
+func (c *Controller) SubscribeBusWith(hubAddr transport.Addr, domains []string) error {
+	return coherence.SubscribeWith(c.client, hubAddr, coherence.Subscription{
+		Addr:    c.Addr(),
+		Path:    coherence.DefaultPurgePath,
+		Domains: domains,
+		Batch:   true,
+	})
+}
+
+// handlePurge applies bus messages (single-Msg or MsgBatch bodies): each
+// location entry is dropped (the next locate misses and triggers a fresh
+// fill) and the purge is relayed downstream so resident LRU copies are
+// evicted too. The legacy relay dials every registered AP per message;
+// with EnableDispatch the relay is location-targeted — only the APs
+// recorded as holding the object are queued — and batched per AP.
 func (c *Controller) handlePurge(req *httplite.Request) *httplite.Response {
-	msg, err := coherence.ParseMsg(req.Body)
+	msgs, err := coherence.ParseMsgs(req.Body)
 	if err != nil {
 		return httplite.NewResponse(400, []byte(err.Error()))
 	}
-	c.Purges++
-	c.purgesC.Inc()
-	delete(c.locations, msg.URL)
-	if c.mesh != nil {
-		// Tombstone the URL in the mesh directory so lookups stop
-		// offering peers whose summaries predate the purge.
-		c.mesh.Purge(msg.URL)
-	}
-	body, _ := json.Marshal(msg)
-	for name, addr := range c.apAddrs {
-		name, addr := name, addr
-		c.PurgeRelays++
-		c.relaysC.Inc()
-		c.env.Go("wicache.purge-relay", func() {
-			preq := httplite.NewRequest("POST", name, coherence.DefaultPurgePath)
-			preq.Body = body
-			_, _ = c.client.Do(addr, preq)
-		})
+	for _, msg := range msgs {
+		c.Purges++
+		c.purgesC.Inc()
+		holders := c.locations[msg.URL]
+		delete(c.locations, msg.URL)
+		if c.mesh != nil {
+			// Tombstone the URL in the mesh directory so lookups stop
+			// offering peers whose summaries predate the purge.
+			c.mesh.Purge(msg.URL)
+		}
+		if c.dispatch != nil {
+			// Targeted relay: only recorded holders get the purge, so relay
+			// cost scales with the number of copies, not the fleet size. The
+			// location table is this controller's own fill bookkeeping; a
+			// holder it missed (a lost report) is covered by the TTL
+			// backstop, the same best-effort guarantee the bus gives for a
+			// lost purge.
+			sent := 0
+			for _, holder := range holders {
+				if addr, ok := c.apAddrs[holder]; ok && c.dispatch.Send(addr.String(), msg) {
+					sent++
+				}
+			}
+			c.PurgeRelays += sent
+			c.relaysC.Add(int64(sent))
+			continue
+		}
+		body, _ := json.Marshal(msg)
+		for name, addr := range c.apAddrs {
+			name, addr := name, addr
+			c.PurgeRelays++
+			c.relaysC.Inc()
+			c.env.Go("wicache.purge-relay", func() {
+				preq := httplite.NewRequest("POST", name, coherence.DefaultPurgePath)
+				preq.Body = body
+				_, _ = c.client.Do(addr, preq)
+			})
+		}
 	}
 	return httplite.NewResponse(200, nil)
 }
@@ -262,7 +329,8 @@ func (c *Controller) handleLocate(req *httplite.Request) *httplite.Response {
 	c.Locates++
 	c.locatesC.Inc()
 	basic := dnswire.BasicURL(lr.URL)
-	if apName, ok := c.locations[basic]; ok {
+	if names := c.locations[basic]; len(names) > 0 {
+		apName := names[0]
 		serve := c.apServe[apName]
 		resp := httplite.NewResponse(200, []byte(serve.String()))
 		resp.Set("X-Wicache-AP", apName)
@@ -300,12 +368,43 @@ func (c *Controller) handleReport(req *httplite.Request) *httplite.Response {
 		return httplite.NewResponse(400, []byte("bad report body"))
 	}
 	for _, u := range r.Add {
-		c.locations[dnswire.BasicURL(u)] = r.AP
+		basic := dnswire.BasicURL(u)
+		c.locations[basic] = holdersInsertFront(c.locations[basic], r.AP)
 	}
 	for _, u := range r.Del {
-		delete(c.locations, dnswire.BasicURL(u))
+		basic := dnswire.BasicURL(u)
+		if names := holdersRemove(c.locations[basic], r.AP); len(names) > 0 {
+			c.locations[basic] = names
+		} else {
+			delete(c.locations, basic)
+		}
 	}
 	return httplite.NewResponse(200, nil)
+}
+
+// holdersInsertFront records name as the most recent holder, moving it to
+// the front if already present (so the serve path keeps the old last-wins
+// redirect behaviour while the full set stays known for targeted purges).
+func holdersInsertFront(names []string, name string) []string {
+	out := make([]string, 0, len(names)+1)
+	out = append(out, name)
+	for _, n := range names {
+		if n != name {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// holdersRemove drops name from the holder list, preserving order.
+func holdersRemove(names []string, name string) []string {
+	out := names[:0]
+	for _, n := range names {
+		if n != name {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // APServer is the Wi-Cache AP: an LRU object store that fills from the
@@ -407,16 +506,19 @@ func (s *APServer) startSweeper() {
 	})
 }
 
-// handlePurge applies a purge relayed by the controller: the Wi-Cache
-// baseline has no stale-while-revalidate, so the copy is simply evicted.
+// handlePurge applies purges relayed by the controller (either wire
+// form): the Wi-Cache baseline has no stale-while-revalidate, so each
+// copy is simply evicted.
 func (s *APServer) handlePurge(req *httplite.Request) *httplite.Response {
-	msg, err := coherence.ParseMsg(req.Body)
+	msgs, err := coherence.ParseMsgs(req.Body)
 	if err != nil {
 		return httplite.NewResponse(400, []byte(err.Error()))
 	}
-	s.Purges++
-	s.purgesC.Inc()
-	s.store.Purge(msg.URL, msg.Version, msg.Gone, false)
+	for _, msg := range msgs {
+		s.Purges++
+		s.purgesC.Inc()
+		s.store.Purge(msg.URL, msg.Version, msg.Gone, false)
+	}
 	return httplite.NewResponse(200, nil)
 }
 

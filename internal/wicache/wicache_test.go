@@ -126,7 +126,7 @@ func TestStaleControllerLocationFallsBackToEdge(t *testing.T) {
 
 		// Fabricate a stale controller entry: the controller believes the
 		// AP holds the object, but the AP cache is empty.
-		fx.controller.locations[fx.obj.URL] = "ap"
+		fx.controller.locations[fx.obj.URL] = []string{"ap"}
 
 		body, err := client.Get(fx.obj.URL)
 		if err != nil || !bytes.Equal(body, fx.obj.Body()) {
@@ -171,7 +171,7 @@ func TestStaleControllerLocationFallsBackToEdge(t *testing.T) {
 
 		// ...and even with the location fabricated stale again, the AP's
 		// 404 sends the client to the edge, which serves the new version.
-		fx.controller.locations[fx.obj.URL] = "ap"
+		fx.controller.locations[fx.obj.URL] = []string{"ap"}
 		body, err = client.Get(fx.obj.URL)
 		if err != nil || !bytes.Equal(body, fx.obj.Body()) || bytes.Equal(body, v0) {
 			t.Errorf("post-purge get stale or failed: %v (%d bytes)", err, len(body))
