@@ -7,8 +7,10 @@
 // Usage:
 //
 //	apectl -ap 127.0.0.1:18080                  # human-readable summary
-//	apectl -ap 127.0.0.1:18080 -raw             # raw JSON
-//	apectl metrics -addr 127.0.0.1:18080        # metric table (-raw: Prometheus text)
+//	apectl -ap 127.0.0.1:18080 -raw             # raw JSON (-json is an alias)
+//	apectl explain -ap 127.0.0.1:18080 http://api.demo.example/obj0
+//	                                            # why is the object (not) cached — needs aped -decision-log
+//	apectl metrics -addr 127.0.0.1:18080        # metric table (-raw: Prometheus text, -json: JSON object)
 //	apectl metrics -addr 127.0.0.1:18080 -grep apcache_
 //	apectl trace -addr 127.0.0.1:18080          # list traces in the span ring
 //	apectl trace -addr 127.0.0.1:18080 3fb1c2d4e5f60708   # spans of one trace
@@ -26,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -83,6 +86,8 @@ func main() {
 	switch {
 	case len(os.Args) > 1 && os.Args[1] == "purge":
 		err = runPurge(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "explain":
+		err = runExplain(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "metrics":
 		err = runMetrics(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "trace":
@@ -98,8 +103,9 @@ func main() {
 	default:
 		ap := flag.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
 		raw := flag.Bool("raw", false, "print the raw JSON status")
+		jsonOut := flag.Bool("json", false, "print the raw JSON status (alias of -raw)")
 		flag.Parse()
-		err = runStatus(*ap, *raw)
+		err = runStatus(*ap, *raw || *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apectl:", err)
@@ -130,6 +136,7 @@ func runMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:18080", "daemon HTTP endpoint host:port")
 	raw := fs.Bool("raw", false, "print the raw Prometheus exposition text")
+	jsonOut := fs.Bool("json", false, "print the parsed samples as one JSON object")
 	grep := fs.String("grep", "", "only show metrics whose name contains this substring")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,6 +169,22 @@ func runMetrics(args []string) error {
 			width = len(s.name)
 		}
 		samples = append(samples, s)
+	}
+	if *jsonOut {
+		obj := make(map[string]float64, len(samples))
+		for _, s := range samples {
+			v, err := strconv.ParseFloat(s.value, 64)
+			if err != nil {
+				continue
+			}
+			obj[s.name] = v
+		}
+		out, err := json.MarshalIndent(obj, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
 	}
 	for _, s := range samples {
 		fmt.Printf("%-*s  %s\n", width, s.name, s.value)
@@ -269,7 +292,11 @@ type fleetView struct {
 			Seconds float64 `json:"seconds"`
 		} `json:"exemplars"`
 	} `json:"latency"`
-	Alerts []alertStatus `json:"alerts"`
+	Alerts     []alertStatus `json:"alerts"`
+	MissCauses []struct {
+		Cause  string  `json:"cause"`
+		Misses float64 `json:"misses"`
+	} `json:"miss_causes"`
 }
 
 // alertStatus mirrors wicache.AlertStatus for decoding.
@@ -289,6 +316,7 @@ func runFleet(args []string) error {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9090", "controller HTTP endpoint host:port")
 	raw := fs.Bool("raw", false, "print the raw JSON")
+	jsonOut := fs.Bool("json", false, "print the raw JSON (alias of -raw)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -296,7 +324,7 @@ func runFleet(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *raw {
+	if *raw || *jsonOut {
 		fmt.Print(string(body))
 		return nil
 	}
@@ -326,6 +354,12 @@ func runFleet(args []string) error {
 			for _, ex := range l.Exemplars {
 				fmt.Printf("    exemplar %s  %-14s  %-18s  %.1fms\n", ex.Trace, ex.Span, ex.Node, ex.Seconds*1e3)
 			}
+		}
+	}
+	if len(v.MissCauses) > 0 {
+		fmt.Printf("\n%-18s  %10s\n", "MISS CAUSE", "MISSES")
+		for _, c := range v.MissCauses {
+			fmt.Printf("%-18s  %10.0f\n", c.Cause, c.Misses)
 		}
 	}
 	if len(v.Alerts) > 0 {
@@ -474,6 +508,114 @@ func runBus(args []string) error {
 		fmt.Printf("dropped       %d\n", d.Dropped)
 	} else {
 		fmt.Printf("fan-out       legacy (one delivery task per subscriber)\n")
+	}
+	return nil
+}
+
+// explainReport mirrors apcache.ExplainReport for decoding.
+type explainReport struct {
+	URL       string `json:"url"`
+	Flag      string `json:"flag"`
+	Resident  bool   `json:"resident"`
+	Stale     bool   `json:"stale"`
+	Blocked   bool   `json:"blocked"`
+	Negative  bool   `json:"negative"`
+	MissCause string `json:"miss_cause"`
+	Utility   *struct {
+		Rate      float64 `json:"rate"`
+		RemainMin float64 `json:"remain_min"`
+		LatencyMS float64 `json:"latency_ms"`
+		Priority  int     `json:"priority"`
+		Utility   float64 `json:"utility"`
+		Density   float64 `json:"density"`
+	} `json:"utility"`
+	Events []struct {
+		Seq       uint64    `json:"seq"`
+		Time      time.Time `json:"t"`
+		Op        string    `json:"op"`
+		App       string    `json:"app"`
+		Size      int64     `json:"size"`
+		Version   int64     `json:"version"`
+		Gone      bool      `json:"gone"`
+		Utility   float64   `json:"utility"`
+		Density   float64   `json:"density"`
+		RemainMin float64   `json:"remain_min"`
+	} `json:"events"`
+	MissCauses  map[string]uint64 `json:"miss_causes"`
+	TotalMisses uint64            `json:"total_misses"`
+}
+
+// runExplain asks an AP's /explain endpoint why a URL is (or is not)
+// cached: the decision history the ledger retains, the live PACM
+// utility standing when resident, and the AP-wide miss-cause
+// breakdown. The AP must run with the decision ledger on
+// (aped -decision-log); without it the endpoint is not mounted.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	ap := fs.String("ap", "127.0.0.1:18080", "AP HTTP endpoint host:port")
+	jsonOut := fs.Bool("json", false, "print the raw JSON report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: exactly one URL argument required")
+	}
+	body, err := fetch(*ap, "/explain?u="+neturl.QueryEscape(fs.Arg(0)))
+	if err != nil {
+		return fmt.Errorf("%w (is the AP running with -decision-log?)", err)
+	}
+	if *jsonOut {
+		fmt.Println(string(body))
+		return nil
+	}
+	var rep explainReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("decode explain report: %w", err)
+	}
+	state := "not resident"
+	switch {
+	case rep.Resident && rep.Stale:
+		state = "resident (stale)"
+	case rep.Resident:
+		state = "resident"
+	case rep.Blocked:
+		state = "block-listed (oversized)"
+	case rep.Negative:
+		state = "negative-cached (gone at origin)"
+	}
+	fmt.Printf("%s\n", rep.URL)
+	fmt.Printf("flag:   %s — %s\n", rep.Flag, state)
+	if rep.MissCause != "" {
+		fmt.Printf("a miss now would be attributed to: %s\n", rep.MissCause)
+	}
+	if u := rep.Utility; u != nil {
+		fmt.Printf("PACM:   U = R·e·l·p = %.3f·%.1fmin·%.1fms·p%d = %.1f (density %.4f/byte)\n",
+			u.Rate, u.RemainMin, u.LatencyMS, u.Priority, u.Utility, u.Density)
+	}
+	if len(rep.Events) == 0 {
+		fmt.Println("no retained decisions (never seen, or history aged out of the ring)")
+	} else {
+		fmt.Printf("\n%-5s  %-24s  %-14s  %8s  %4s  %9s  %7s\n",
+			"SEQ", "TIME", "DECISION", "SIZE", "VER", "UTILITY", "REMAIN")
+		for _, e := range rep.Events {
+			op := e.Op
+			if e.Gone {
+				op += " (gone)"
+			}
+			fmt.Printf("%-5d  %-24s  %-14s  %8d  %4d  %9.1f  %6.1fm\n",
+				e.Seq, e.Time.Format(time.RFC3339), op, e.Size, e.Version, e.Utility, e.RemainMin)
+		}
+	}
+	if len(rep.MissCauses) > 0 {
+		causes := make([]string, 0, len(rep.MissCauses))
+		for c := range rep.MissCauses {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fmt.Printf("\nAP-wide miss attribution (%d total):\n", rep.TotalMisses)
+		for _, c := range causes {
+			fmt.Printf("  %-18s  %d\n", c, rep.MissCauses[c])
+		}
 	}
 	return nil
 }

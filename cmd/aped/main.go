@@ -44,6 +44,8 @@ func main() {
 		node     = flag.String("node", "", "fleet/mesh node name (default ap:<ip>:<http-port>; must be unique per AP)")
 		mesh     = flag.String("mesh", "", "mesh directory (Wi-Cache controller) host:port for cooperative peer fetch (empty: disabled)")
 		meshIntv = flag.Duration("mesh-interval", 5*time.Second, "content summary publish cadence (with -mesh)")
+		decLog   = flag.Bool("decision-log", false, "record a cache decision ledger and serve /explain (apectl explain)")
+		decCap   = flag.Int("decision-log-cap", 0, "decision ledger ring capacity in events (0: default 4096)")
 	)
 	flag.Parse()
 	var domains []string
@@ -52,13 +54,13 @@ func main() {
 			domains = append(domains, d)
 		}
 	}
-	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node, *mesh, *meshIntv, *purgeB, domains); err != nil {
+	if err := run(*ip, uint16(*dnsPort), uint16(*httpPort), *upstream, *edge, *cacheMB, *policy, *cohMode, *busFlag, *fleet, *snapIntv, *node, *mesh, *meshIntv, *purgeB, domains, *decLog, *decCap); err != nil {
 		fmt.Fprintln(os.Stderr, "aped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node, mesh string, meshIntv time.Duration, purgeBatch bool, purgeDomains []string) error {
+func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int64, policyName, cohMode, bus, fleet string, snapIntv time.Duration, node, mesh string, meshIntv time.Duration, purgeBatch bool, purgeDomains []string, decisionLog bool, decisionLogCap int) error {
 	upstreamAddr, err := parseAddr(upstream)
 	if err != nil {
 		return fmt.Errorf("bad -upstream: %w", err)
@@ -123,6 +125,8 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 		NodeName:         node,
 		MeshAddr:         meshAddr,
 		MeshInterval:     meshIntv,
+		DecisionLog:      decisionLog,
+		DecisionLogCap:   decisionLogCap,
 	})
 	if err := ap.Start(); err != nil {
 		return err
@@ -136,6 +140,9 @@ func run(ip string, dnsPort, httpPort uint16, upstream, edge string, cacheMB int
 	}
 	if !meshAddr.IsZero() {
 		fmt.Printf("aped: publishing content summaries to mesh directory %s every %s\n", meshAddr, meshIntv)
+	}
+	if decisionLog {
+		fmt.Printf("aped: decision ledger on (%d events), explain at %s/explain\n", ap.Ledger().Cap(), ap.HTTPAddr())
 	}
 
 	sig := make(chan os.Signal, 1)

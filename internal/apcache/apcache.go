@@ -11,9 +11,11 @@ import (
 	"net/url"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apecache/internal/cachepolicy"
+	"apecache/internal/decisionlog"
 	"apecache/internal/coherence"
 	"apecache/internal/dnsd"
 	"apecache/internal/dnswire"
@@ -132,6 +134,18 @@ type Config struct {
 	// false-positive bound (coopmesh.DefaultFPRate when zero).
 	MeshInterval time.Duration
 	MeshFPRate   float64
+	// DecisionLog enables the per-AP cache decision ledger: every
+	// lifecycle decision (admission with its PACM utility terms,
+	// eviction, Gini drop, expiry, purge, SWR serve, peer fill/fail) is
+	// recorded, every miss classified into the cause taxonomy, the
+	// apcache_miss_cause_total counters registered, and the /explain
+	// endpoint mounted. Off by default: with the ledger off no new
+	// metric families are registered and no wire bytes change, so
+	// experiment outputs stay bit-identical.
+	DecisionLog bool
+	// DecisionLogCap overrides the ledger's event-ring capacity
+	// (decisionlog.DefaultCapacity when zero).
+	DecisionLogCap int
 }
 
 // AP is a running APE-CACHE access point.
@@ -149,6 +163,15 @@ type AP struct {
 	pusher   *telemetry.Pusher
 	mesh     *meshState
 	mtel     *meshTel
+	ledger   *decisionlog.Ledger
+
+	// prefMu guards prefTracked, the URLs filled by prefetch that have
+	// not yet served a hit (prefetch precision/recall accounting).
+	// prefPending is the lock-free hit-path gate: zero means no tracked
+	// fills, so cache serves skip the lock entirely.
+	prefMu      sync.Mutex
+	prefTracked map[string]int64
+	prefPending atomic.Int32
 
 	// mu guards the counters and stop flag: DNS and HTTP handlers run on
 	// separate goroutines under the real clock.
@@ -206,6 +229,14 @@ func New(cfg Config) *AP {
 		delegating:   make(map[string]bool),
 	}
 	ap.tel = newAPTel(cfg.Telemetry, ap)
+	if cfg.DecisionLog {
+		ap.ledger = decisionlog.New(cfg.DecisionLogCap)
+		store.AttachLedger(ap.ledger)
+		// Miss-cause counters exist only when the ledger does (like the
+		// mesh instruments): ledger-off APs register zero new families
+		// and their snapshot wire bytes are unchanged.
+		registerMissCauses(cfg.Telemetry, ap.ledger)
+	}
 	if !cfg.MeshAddr.IsZero() {
 		ap.mesh = &meshState{peerEWMA: make(map[string]time.Duration)}
 		ap.mtel = newMeshTel(cfg.Telemetry)
@@ -246,6 +277,9 @@ func (ap *AP) Start() error {
 	mux.HandleFunc("/delegate", ap.handleDelegate)
 	mux.HandleFunc("/status", ap.handleStatus)
 	mux.HandleFunc(coherence.DefaultPurgePath, ap.handlePurge)
+	if ap.ledger != nil {
+		mux.HandleFunc("/explain", ap.handleExplain)
+	}
 	ap.cfg.Telemetry.Register(mux)
 	srv := httplite.NewServer(ap.cfg.Env, mux)
 	ap.cfg.Env.Go("apcache.http", func() { srv.Serve(l) })
@@ -462,6 +496,9 @@ func (ap *AP) handleCacheGet(req *httplite.Request) *httplite.Response {
 	ap.account(OpCacheServe, len(entry.Data))
 	result = "hit"
 	ap.tel.serveHit.Inc()
+	if ap.prefPending.Load() > 0 {
+		ap.notePrefetchUse(basic)
+	}
 	resp := httplite.NewResponse(200, entry.Data)
 	resp.Set("X-Ape-Source", "ap-cache")
 	if peer != "" {
@@ -579,6 +616,15 @@ func (ap *AP) handleDelegate(req *httplite.Request) *httplite.Response {
 		Version:  version,
 	}
 	ap.account(OpPACMRun, ap.store.Len())
+	if ap.ledger != nil {
+		// A delegation fill is the AP-level face of a miss: the DNS flag
+		// sent the client here instead of /cache. Classify before the Put
+		// records the admission, while the URL's history still shows why
+		// the object was absent. The instrument identity is
+		// ledger total == store lookup misses + delegations + peer hits —
+		// every Classify site pairs with exactly one of those counters.
+		ap.ledger.Classify(basic, ap.cfg.Env.Now())
+	}
 	_ = ap.store.Put(obj, edgeResp.Body, fetchLatency) // ErrBlocked/ErrStaleVersion is fine: relay anyway
 
 	resp := httplite.NewResponse(200, edgeResp.Body)

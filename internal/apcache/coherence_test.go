@@ -64,6 +64,9 @@ func newCohFixture(t *testing.T, sim *vclock.Sim, mode coherence.Mode) *cohFixtu
 		Policy:        cachepolicy.NewPACM(),
 		Rng:           rand.New(rand.NewSource(4)),
 		Coherence:     mode,
+		// The decision ledger rides along so every coherence-path test
+		// also exercises purge/stale/revalidate event recording.
+		DecisionLog: true,
 	})
 	if err := ap.Start(); err != nil {
 		t.Fatalf("ap.Start: %v", err)

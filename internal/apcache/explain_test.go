@@ -1,0 +1,104 @@
+package apcache
+
+import (
+	"encoding/json"
+	"net/url"
+	"testing"
+	"time"
+
+	"apecache/internal/coherence"
+	"apecache/internal/decisionlog"
+	"apecache/internal/dnswire"
+	"apecache/internal/httplite"
+)
+
+// TestExplainPurgedObjectKeepsPrePurgeTerms is the acceptance check for
+// the explainability surface: after a push invalidation evicts a cached
+// object, Explain must still report the purge event carrying the PACM
+// utility decomposition the object had at the moment it was purged.
+func TestExplainPurgedObjectKeepsPrePurgeTerms(t *testing.T) {
+	runCoh(t, coherence.ModeInvalidate, func(fx *cohFixture) {
+		cohDelegate(t, fx)
+		basic := dnswire.BasicURL(fx.obj.URL)
+		// A few serves give the app a nonzero request rate.
+		for range 3 {
+			cohCacheGet(t, fx)
+		}
+		mutateAndPublish(t, fx, false)
+		fx.sim.Sleep(500 * time.Millisecond)
+
+		rep := fx.ap.Explain(basic)
+		if rep.Resident {
+			t.Fatal("purged object still resident under ModeInvalidate")
+		}
+		if rep.MissCause != string(decisionlog.CausePurged) {
+			t.Fatalf("miss cause = %q, want %q", rep.MissCause, decisionlog.CausePurged)
+		}
+		var purge *decisionlog.Event
+		for i := range rep.Events {
+			if rep.Events[i].Op == decisionlog.OpPurge {
+				purge = &rep.Events[i]
+			}
+		}
+		if purge == nil {
+			t.Fatalf("no purge event in history: %+v", rep.Events)
+		}
+		if purge.Utility <= 0 {
+			t.Errorf("purge event lost the pre-purge utility: %+v", *purge)
+		}
+		if purge.RemainMin <= 0 {
+			t.Errorf("purge event lost the remaining TTL: %+v", *purge)
+		}
+		if purge.LatencyMS <= 0 {
+			t.Errorf("purge event lost the fetch latency: %+v", *purge)
+		}
+		if purge.Priority != fx.obj.Priority {
+			t.Errorf("purge priority = %d, want %d", purge.Priority, fx.obj.Priority)
+		}
+	})
+}
+
+// TestExplainEndpoint drives GET /explain over the simulated network and
+// checks the JSON report round-trips.
+func TestExplainEndpoint(t *testing.T) {
+	runCoh(t, coherence.ModeSWR, func(fx *cohFixture) {
+		cohDelegate(t, fx)
+		c := httplite.NewClient(fx.net.Node("client"))
+		resp, err := c.Get(fx.ap.HTTPAddr(), "ap", "/explain?u="+url.QueryEscape(fx.obj.URL))
+		if err != nil {
+			t.Fatalf("explain get: %v", err)
+		}
+		if resp.Status != 200 {
+			t.Fatalf("status = %d, body %s", resp.Status, resp.Body)
+		}
+		var rep ExplainReport
+		if err := json.Unmarshal(resp.Body, &rep); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !rep.Resident {
+			t.Error("delegated object should be resident")
+		}
+		if rep.Utility == nil || rep.Utility.Utility <= 0 {
+			t.Errorf("resident object missing utility standing: %+v", rep.Utility)
+		}
+		if len(rep.Events) == 0 {
+			t.Error("no decision events for a freshly admitted object")
+		}
+		var sum uint64
+		for _, n := range rep.MissCauses {
+			sum += n
+		}
+		if sum != rep.TotalMisses {
+			t.Errorf("report identity broken: sum %d != total %d", sum, rep.TotalMisses)
+		}
+
+		// Missing parameter is a client error.
+		resp, err = c.Get(fx.ap.HTTPAddr(), "ap", "/explain")
+		if err != nil {
+			t.Fatalf("explain get: %v", err)
+		}
+		if resp.Status != 400 {
+			t.Errorf("missing u: status = %d, want 400", resp.Status)
+		}
+	})
+}

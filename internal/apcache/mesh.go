@@ -9,6 +9,7 @@ import (
 
 	"apecache/internal/coherence"
 	"apecache/internal/coopmesh"
+	"apecache/internal/decisionlog"
 	"apecache/internal/httplite"
 	"apecache/internal/objstore"
 	"apecache/internal/telemetry"
@@ -190,7 +191,21 @@ func (ap *AP) tryPeerFetch(basic, app string, priority int, trace telemetry.Trac
 		}
 		ap.account(OpDelegation, len(resp.Body))
 		ap.account(OpPACMRun, ap.store.Len())
+		if ap.ledger != nil {
+			// Peer-fill twin of the delegation classify site: attribute
+			// the miss before the Put rewrites the URL's history (pairs
+			// with the peer-hits counter in the instrument identity).
+			ap.ledger.Classify(basic, ap.cfg.Env.Now())
+		}
 		_ = ap.store.Put(obj, resp.Body, rtt) // ErrBlocked/ErrStaleVersion is fine: relay anyway
+		if ap.ledger != nil {
+			// Mark the fill as mesh-sourced on top of the store's own
+			// admit/update record.
+			ap.ledger.Record(decisionlog.Event{Time: ap.cfg.Env.Now(),
+				Op: decisionlog.OpPeerFill, URL: basic, App: app,
+				Size: int64(len(resp.Body)), Version: version,
+				Expiry: ap.cfg.Env.Now().Add(obj.TTL)})
+		}
 		ap.mu.Lock()
 		ap.PeerHits++
 		ap.PeerBytes += int64(len(resp.Body))
@@ -209,6 +224,13 @@ func (ap *AP) tryPeerFetch(basic, app string, priority int, trace telemetry.Trac
 		ap.PeerFallbacks++
 		ap.mu.Unlock()
 		ap.mtel.fallbacks.Inc()
+		if ap.ledger != nil {
+			// Every tried peer failed; the delegation falls back to the
+			// edge. Until an edge fill supersedes this record, misses on
+			// the URL attribute to the peer tier.
+			ap.ledger.Record(decisionlog.Event{Time: ap.cfg.Env.Now(),
+				Op: decisionlog.OpPeerFail, URL: basic, App: app})
+		}
 	}
 	return nil, false
 }

@@ -109,9 +109,66 @@ func (ap *AP) schedulePrefetch(app string, specs []prefetchSpec) {
 			}
 			ap.account(OpPACMRun, ap.store.Len())
 			ap.account(OpDelegation, len(resp.Body))
-			_ = ap.store.Put(obj, resp.Body, fetchLatency)
+			if err := ap.store.Put(obj, resp.Body, fetchLatency); err == nil {
+				ap.tel.prefetchFills.Inc()
+				ap.trackPrefetchFill(spec.url, int64(len(resp.Body)))
+			}
 		})
 	}
+}
+
+// maxTrackedPrefetches bounds the precision/recall tracking map; fills
+// past the bound still count as fills, they just drop out of the
+// used/wasted attribution.
+const maxTrackedPrefetches = 4096
+
+// trackPrefetchFill remembers a prefetch-admitted URL until it serves a
+// hit (counted used) or leaves the cache unserved (counted wasted).
+func (ap *AP) trackPrefetchFill(url string, bytes int64) {
+	ap.prefMu.Lock()
+	if ap.prefTracked == nil {
+		ap.prefTracked = make(map[string]int64)
+	}
+	if len(ap.prefTracked) < maxTrackedPrefetches {
+		if _, ok := ap.prefTracked[url]; !ok {
+			ap.prefPending.Add(1)
+		}
+		ap.prefTracked[url] = bytes
+	}
+	ap.prefMu.Unlock()
+}
+
+// notePrefetchUse credits a cache hit to its prefetch fill. The caller
+// has already checked the prefPending fast-path gate, so ordinary serves
+// on APs without prefetch traffic never touch the lock.
+func (ap *AP) notePrefetchUse(url string) {
+	ap.prefMu.Lock()
+	if _, ok := ap.prefTracked[url]; ok {
+		delete(ap.prefTracked, url)
+		ap.prefPending.Add(-1)
+		ap.tel.prefetchUsed.Inc()
+	}
+	ap.prefMu.Unlock()
+}
+
+// reapPrefetchWaste charges tracked fills that left the cache (evicted,
+// expired, or purged stale) without serving a hit as wasted bytes. The
+// background sweeper drives it on its cadence.
+func (ap *AP) reapPrefetchWaste() {
+	if ap.prefPending.Load() == 0 {
+		return
+	}
+	now := ap.cfg.Env.Now()
+	ap.prefMu.Lock()
+	for url, bytes := range ap.prefTracked {
+		if e, ok := ap.store.Peek(url); ok && e.Fresh(now) && !e.Stale {
+			continue // still servable; keep waiting
+		}
+		delete(ap.prefTracked, url)
+		ap.prefPending.Add(-1)
+		ap.tel.prefetchWaste.Add(bytes)
+	}
+	ap.prefMu.Unlock()
 }
 
 // maybePrefetch inspects a delegation request for prefetch hints.

@@ -47,6 +47,10 @@ type Status struct {
 	// down by app.
 	Gini   float64                  `json:"gini"`
 	PerApp []cachepolicy.AppStorage `json:"per_app,omitempty"`
+	// Decision-ledger attribution (omitted entirely when the ledger is
+	// off, keeping the status bytes identical to seed).
+	DecisionLog bool              `json:"decision_log,omitempty"`
+	MissCauses  map[string]uint64 `json:"miss_causes,omitempty"`
 }
 
 // Snapshot assembles the current status.
@@ -64,7 +68,13 @@ func (ap *AP) Snapshot() Status {
 	}
 	dnsHits, dnsMisses := ap.fwd.CacheStats()
 	perApp, gini := ap.store.StorageReport()
+	var missCauses map[string]uint64
+	if ap.ledger != nil {
+		missCauses = ap.ledger.Counts()
+	}
 	return Status{
+		DecisionLog: ap.ledger != nil,
+		MissCauses:  missCauses,
 		Coherence:      ap.cfg.Coherence.String(),
 		Purges:         purges,
 		Revalidations:  revalidations,
@@ -130,6 +140,7 @@ func (ap *AP) startSweeper() {
 				return
 			}
 			ap.store.SweepExpired()
+			ap.reapPrefetchWaste()
 		}
 	})
 }

@@ -23,6 +23,9 @@ type apTel struct {
 	delegationSecs   *telemetry.Histogram
 
 	prefetches    *telemetry.Counter
+	prefetchFills *telemetry.Counter
+	prefetchUsed  *telemetry.Counter
+	prefetchWaste *telemetry.Counter
 	purges        *telemetry.Counter
 	revalidations *telemetry.Counter
 }
@@ -42,6 +45,9 @@ func newAPTel(tel *telemetry.Telemetry, ap *AP) *apTel {
 		delegationErrors: m.Counter("apcache_delegation_errors_total", "edge fetch-throughs failed"),
 		delegationSecs:   m.Histogram("apcache_delegation_seconds", "edge retrieval latency per delegation (l_d; virtual time under simnet)", telemetry.DurationBuckets),
 		prefetches:       m.Counter("apcache_prefetches_total", "dependency-driven background warm-ups"),
+		prefetchFills:    m.Counter("apcache_prefetch_fills_total", "prefetched objects admitted to the cache"),
+		prefetchUsed:     m.Counter("apcache_prefetch_used_total", "prefetched objects that later served a cache hit"),
+		prefetchWaste:    m.Counter("apcache_prefetch_wasted_bytes_total", "bytes prefetched but evicted or expired before serving a hit"),
 		purges:           m.Counter("apcache_purges_total", "coherence bus purge messages applied"),
 		revalidations:    m.Counter("apcache_revalidations_total", "background conditional re-fetches completed"),
 	}
@@ -53,6 +59,30 @@ func newAPTel(tel *telemetry.Telemetry, ap *AP) *apTel {
 		_, mi := ap.fwd.CacheStats()
 		return float64(mi)
 	})
+	m.GaugeFunc("apcache_prefetch_precision", "share of prefetch fills that went on to serve a hit", func() float64 {
+		fills := t.prefetchFills.Value()
+		if fills == 0 {
+			return 0
+		}
+		return float64(t.prefetchUsed.Value()) / float64(fills)
+	})
+	m.GaugeFunc("apcache_prefetch_recall", "share of cache hits served by prefetched objects", func() float64 {
+		hits := t.serveHit.Value()
+		if hits == 0 {
+			return 0
+		}
+		return float64(t.prefetchUsed.Value()) / float64(hits)
+	})
+	// Prefetch effectiveness depends on the wall-ordering of background
+	// fills, so keep the whole family off the snapshot wire: fleet runs
+	// stay byte-identical with these instruments registered.
+	for _, name := range []string{
+		"apcache_prefetch_fills_total", "apcache_prefetch_used_total",
+		"apcache_prefetch_wasted_bytes_total",
+		"apcache_prefetch_precision", "apcache_prefetch_recall",
+	} {
+		m.SetLocal(name)
+	}
 	return t
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"apecache/internal/decisionlog"
 	"apecache/internal/dnswire"
 )
 
@@ -43,12 +44,26 @@ func (s *Store) Purge(url string, version int64, gone, keepStale bool) (resident
 	}
 	e, ok := s.entries[url]
 	if !ok || e.Version >= version {
+		if s.ledger != nil && gone && !ok {
+			// Deleted at the origin with no resident copy: the negative
+			// window now answers for the URL, so later misses attribute
+			// to the purge.
+			s.ledger.Record(decisionlog.Event{Time: s.clock.Now(),
+				Op: decisionlog.OpPurge, URL: url, Version: version, Gone: true})
+		}
 		// Nothing resident, or the copy already is the announced version
 		// (the purge lost a race with our own refresh) — no action.
 		return false, false
 	}
 	s.stats.Purged++
 	s.tel.purge(url, gone)
+	if s.ledger != nil {
+		// Captured before the entry is marked stale or removed: this is
+		// the pre-purge utility standing `apectl explain` renders.
+		ev := s.ledgerEvent(decisionlog.OpPurge, e, s.clock.Now())
+		ev.Gone = gone
+		s.ledger.Record(ev)
+	}
 	if keepStale && !gone {
 		if !e.Stale {
 			// Stale entries no longer count toward the domain's
@@ -83,6 +98,9 @@ func (s *Store) GetStale(url string) (*Entry, bool) {
 	e.Hits++
 	s.stats.StaleServes++
 	s.tel.staleServe(url)
+	if s.ledger != nil {
+		s.ledger.Record(s.ledgerEvent(decisionlog.OpStaleServe, e, now))
+	}
 	return e, true
 }
 
@@ -116,6 +134,9 @@ func (s *Store) Revalidated(url string, version int64) bool {
 	e.StaleServed = false
 	e.Expiry = s.clock.Now().Add(e.Object.TTL)
 	s.pushExpiry(url, e.Expiry)
+	if s.ledger != nil {
+		s.ledger.Record(s.ledgerEvent(decisionlog.OpRevalidate, e, s.clock.Now()))
+	}
 	return true
 }
 
@@ -126,11 +147,19 @@ func (s *Store) MarkGone(url string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.setNegative(url, s.clock.Now().Add(s.negativeTTL))
-	if _, ok := s.entries[url]; ok {
+	if e, ok := s.entries[url]; ok {
+		if s.ledger != nil {
+			ev := s.ledgerEvent(decisionlog.OpPurge, e, s.clock.Now())
+			ev.Gone = true
+			s.ledger.Record(ev)
+		}
 		s.removeEntry(url)
 		s.stats.Purged++
 		s.tel.purge(url, true)
 		s.tel.evicted(url, "purged")
+	} else if s.ledger != nil {
+		s.ledger.Record(decisionlog.Event{Time: s.clock.Now(),
+			Op: decisionlog.OpPurge, URL: url, Gone: true})
 	}
 }
 

@@ -1,0 +1,186 @@
+package cachepolicy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"apecache/internal/decisionlog"
+	"apecache/internal/telemetry"
+	"apecache/internal/vclock"
+)
+
+// TestLedgerAttributionIdentityRandom drives an instrumented store with a
+// randomized catalog through every lifecycle transition — admissions,
+// refreshes, blocked and stale-dropped puts, capacity and Gini evictions,
+// TTL expiry, coherence purges (evict, SWR, gone), stale serves,
+// revalidations, sweeps — and proves the attribution accounting identity:
+// the ledger's per-cause counters sum exactly to the store's miss
+// counter.
+func TestLedgerAttributionIdentityRandom(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sim := vclock.NewSim(time.Time{})
+			sim.Run("main", func() {
+				s := NewStore(sim, 64<<10, 0, NewPACM(), nil)
+				tel := telemetry.New(sim)
+				s.Instrument(tel, "apcache")
+				led := decisionlog.New(512)
+				s.AttachLedger(led)
+
+				rng := rand.New(rand.NewSource(seed))
+				urls := make([]string, 40)
+				for i := range urls {
+					urls[i] = fmt.Sprintf("http://app%d.example/o%d", i%4+1, i)
+				}
+				version := int64(1)
+				for step := 0; step < 3000; step++ {
+					u := urls[rng.Intn(len(urls))]
+					app := fmt.Sprintf("app%d", rng.Intn(4)+1)
+					switch rng.Intn(10) {
+					case 0, 1, 2: // lookup (misses classify)
+						s.Get(u)
+					case 3, 4: // admit / refresh; occasionally oversized
+						size := 1 << uint(8+rng.Intn(5))
+						if rng.Intn(20) == 0 {
+							size = int(DefaultMaxObjectSize) + 1
+						}
+						o := testObj(u, app, size, rng.Intn(3)+1, time.Duration(1+rng.Intn(10))*time.Minute)
+						o.Version = version
+						_ = s.Put(o, o.Body(), time.Duration(5+rng.Intn(40))*time.Millisecond)
+					case 5: // stale-versioned put racing a purge
+						o := testObj(u, app, 512, 1, time.Minute)
+						o.Version = 0
+						_ = s.Put(o, o.Body(), 10*time.Millisecond)
+					case 6: // coherence purge: evict, SWR, or gone
+						version++
+						mode := rng.Intn(3)
+						s.Purge(u, version, mode == 2, mode == 1)
+						if mode == 1 {
+							s.GetStale(u)
+							if rng.Intn(2) == 0 {
+								s.Revalidated(u, version)
+							}
+						}
+					case 7:
+						s.RecordRequest(app)
+					case 8:
+						sim.Sleep(time.Duration(1+rng.Intn(120)) * time.Second)
+					default:
+						s.SweepExpired()
+					}
+				}
+
+				misses := tel.Metrics.Expand()[`apcache_store_lookups_total{result="miss"}`]
+				var sum uint64
+				for _, c := range decisionlog.Causes {
+					sum += led.CauseCount(c)
+				}
+				if sum != led.TotalMisses() {
+					t.Fatalf("cause sum %d != ledger total %d", sum, led.TotalMisses())
+				}
+				if float64(led.TotalMisses()) != misses {
+					t.Fatalf("ledger classified %d misses, store counted %v", led.TotalMisses(), misses)
+				}
+				if misses == 0 {
+					t.Fatal("workload produced no misses; identity vacuous")
+				}
+			})
+		})
+	}
+}
+
+// TestLedgerGiniVictimsDistinguished forces the fairness repair loop to
+// drop entries of a storage-dominant idle app and checks they are
+// ledgered as gini evictions, distinct from capacity evictions.
+func TestLedgerGiniVictimsDistinguished(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		s := NewStore(sim, 8<<10, 0, NewPACM(), nil)
+		led := decisionlog.New(256)
+		s.AttachLedger(led)
+
+		// hog: one idle app owning most of the cache; busy: a hot app.
+		for i := 0; i < 6; i++ {
+			o := testObj(fmt.Sprintf("http://hog.example/o%d", i), "hog", 1024, 1, time.Hour)
+			if err := s.Put(o, o.Body(), 20*time.Millisecond); err != nil {
+				t.Fatalf("Put hog: %v", err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			s.RecordRequest("busy")
+		}
+		// Admissions for the busy app trigger room-making; the Gini bound
+		// on C_a = bytes/R(a) forces drops of the idle hog's entries.
+		for i := 0; i < 4; i++ {
+			o := testObj(fmt.Sprintf("http://busy.example/o%d", i), "busy", 1024, 3, time.Hour)
+			if err := s.Put(o, o.Body(), 20*time.Millisecond); err != nil {
+				t.Fatalf("Put busy: %v", err)
+			}
+		}
+
+		gini := led.CauseCount(decisionlog.CauseGini)
+		var giniEvents int
+		for i := 0; i < 6; i++ {
+			for _, ev := range led.Explain(fmt.Sprintf("http://hog.example/o%d", i)) {
+				if ev.Op == decisionlog.OpEvictGini {
+					giniEvents++
+					if ev.Utility <= 0 {
+						t.Errorf("gini eviction lacks utility standing: %+v", ev)
+					}
+				}
+			}
+		}
+		if giniEvents == 0 {
+			t.Fatal("no gini evictions recorded; fairness loop never fired")
+		}
+		// A miss on a gini-dropped URL attributes to the gini bucket.
+		for i := 0; i < 6; i++ {
+			u := fmt.Sprintf("http://hog.example/o%d", i)
+			if _, ok := s.Get(u); !ok {
+				break
+			}
+		}
+		if led.CauseCount(decisionlog.CauseGini) == gini {
+			t.Fatal("miss on gini-dropped URL not attributed to gini-rejected")
+		}
+	})
+}
+
+// TestLedgerPurgeKeepsPrePurgeTerms checks the acceptance criterion that
+// a purged object's ledger history retains the purge event with the
+// utility standing the entry had before the purge disposed of it.
+func TestLedgerPurgeKeepsPrePurgeTerms(t *testing.T) {
+	sim := vclock.NewSim(time.Time{})
+	sim.Run("main", func() {
+		s := NewStore(sim, 64<<10, 0, NewPACM(), nil)
+		led := decisionlog.New(64)
+		s.AttachLedger(led)
+
+		o := testObj("http://app1.example/x", "app1", 2048, 3, 10*time.Minute)
+		o.Version = 1
+		if err := s.Put(o, o.Body(), 40*time.Millisecond); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		s.RecordRequest("app1")
+		sim.Sleep(2 * time.Minute)
+		s.Purge(o.URL, 2, false, false)
+
+		hist := led.Explain(o.URL)
+		if len(hist) < 2 {
+			t.Fatalf("history too short: %+v", hist)
+		}
+		last := hist[len(hist)-1]
+		if last.Op != decisionlog.OpPurge {
+			t.Fatalf("last op = %s, want purge", last.Op)
+		}
+		if last.Utility <= 0 || last.RemainMin <= 0 || last.LatencyMS != 40 || last.Priority != 3 {
+			t.Fatalf("purge event missing pre-purge terms: %+v", last)
+		}
+		if got := led.Probe(o.URL, sim.Now()); got != decisionlog.CausePurged {
+			t.Fatalf("post-purge probe = %s, want purged", got)
+		}
+	})
+}

@@ -41,6 +41,14 @@ type PACM struct {
 	// UseDP enables the exact capacity-dimension DP for small caches
 	// (ablation; quadratic in entry count × capacity units).
 	UseDP bool
+
+	// recordFairness makes each SelectVictims pass remember which victims
+	// the fairness repair loop dropped (as opposed to the capacity
+	// greedy), so the decision ledger can attribute them as Gini
+	// rejections. The store sets it when a ledger is attached; off by
+	// default so the extra map costs nothing.
+	recordFairness bool
+	fairnessDrops  map[*Entry]struct{}
 }
 
 // NewPACM returns a PACM policy with the paper's default θ.
@@ -104,6 +112,9 @@ func (p *PACM) SelectVictims(now time.Time, entries []*Entry, incoming *Entry, c
 	avail := capacity
 	if incoming != nil {
 		avail -= incoming.Size()
+	}
+	if p.recordFairness {
+		p.fairnessDrops = nil // per-pass state; read back by the store
 	}
 	var keep []*Entry
 	if p.UseDP && len(entries) <= dpMaxEntries {
@@ -236,9 +247,24 @@ func (p *PACM) enforceFairness(keep []*Entry, incoming *Entry, now time.Time, fr
 		if victimIdx < 0 {
 			return keep // dominant app is the incoming's; nothing to drop
 		}
+		if p.recordFairness {
+			if p.fairnessDrops == nil {
+				p.fairnessDrops = make(map[*Entry]struct{}, 4)
+			}
+			p.fairnessDrops[keep[victimIdx]] = struct{}{}
+		}
 		keep = append(keep[:victimIdx], keep[victimIdx+1:]...)
 	}
 	return keep
+}
+
+// fairnessVictim reports whether the last SelectVictims pass dropped e
+// in the fairness repair loop. Only meaningful while recordFairness is
+// on; the store reads it under its write lock immediately after the
+// selection that produced e.
+func (p *PACM) fairnessVictim(e *Entry) bool {
+	_, ok := p.fairnessDrops[e]
+	return ok
 }
 
 // entryBefore is the deterministic preference order for equal-utility

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apecache/internal/decisionlog"
 	"apecache/internal/dnswire"
 	"apecache/internal/objstore"
 	"apecache/internal/vclock"
@@ -160,6 +161,9 @@ type Store struct {
 	// tel is the optional telemetry hookup (see telemetry.go); nil keeps
 	// every hook a no-op.
 	tel *storeTel
+	// ledger is the optional decision ledger (see ledger.go); nil keeps
+	// the miss path classification-free and every record a no-op.
+	ledger *decisionlog.Ledger
 }
 
 // NewStore builds a cache with the given capacity and policy. A zero
@@ -331,11 +335,20 @@ func (s *Store) Get(url string) (*Entry, bool) {
 	e, ok := s.entries[url]
 	if !ok {
 		s.tel.lookup(false)
+		if s.ledger != nil {
+			// Classification sites mirror the miss-counter sites exactly:
+			// that is what makes Σ cause counts == total misses an
+			// identity rather than an approximation.
+			s.ledger.Classify(url, s.clock.Now())
+		}
 		return nil, false
 	}
 	now := s.clock.Now()
 	if !e.Fresh(now) || e.Stale {
 		s.tel.lookup(false)
+		if s.ledger != nil {
+			s.ledger.Classify(url, now)
+		}
 		return nil, false
 	}
 	e.touch(now)
@@ -359,6 +372,10 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		s.indexKnown(obj.Hash(), obj.URL)
 		s.stats.Blocked++
 		s.tel.put(obj.URL, "blocked")
+		if s.ledger != nil {
+			s.ledger.Record(decisionlog.Event{Time: now, Op: decisionlog.OpRejectBlocked,
+				URL: obj.URL, App: obj.App, Size: size, Version: obj.Version, Priority: obj.Priority})
+		}
 		return fmt.Errorf("%w: %s (%d bytes)", ErrBlocked, obj.URL, size)
 	}
 	if hw, ok := s.purged[obj.URL]; ok && obj.Version < hw {
@@ -367,6 +384,10 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		// invalidated.
 		s.stats.StaleDrops++
 		s.tel.put(obj.URL, "stale-drop")
+		if s.ledger != nil {
+			s.ledger.Record(decisionlog.Event{Time: now, Op: decisionlog.OpRejectStale,
+				URL: obj.URL, App: obj.App, Size: size, Version: obj.Version, Priority: obj.Priority})
+		}
 		return fmt.Errorf("%w: %s (version %d < purge %d)", ErrStaleVersion, obj.URL, obj.Version, hw)
 	}
 	// A current-or-newer payload supersedes any negative-cache window (the
@@ -398,6 +419,9 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 		}
 		s.stats.Updates++
 		s.tel.put(obj.URL, "update")
+		if s.ledger != nil {
+			s.ledger.Record(s.ledgerEvent(decisionlog.OpUpdate, fresh, now))
+		}
 		s.makeRoom(nil) // in case the refresh grew the entry
 		return nil
 	}
@@ -421,6 +445,9 @@ func (s *Store) Put(obj *objstore.Object, data []byte, fetchLatency time.Duratio
 	s.used += size
 	s.stats.Insertions++
 	s.tel.put(obj.URL, "insert")
+	if s.ledger != nil {
+		s.ledger.Record(s.ledgerEvent(decisionlog.OpAdmit, entry, now))
+	}
 	return nil
 }
 
@@ -491,6 +518,9 @@ func (s *Store) dropExpiredLocked(now time.Time) int {
 			break // earliest live expiry is in the future: nothing expired
 		}
 		popExpiry(&s.expiries)
+		if s.ledger != nil {
+			s.ledger.Record(s.ledgerEvent(decisionlog.OpExpire, e, now))
+		}
 		s.removeEntry(top.url)
 		s.stats.Expired++
 		s.tel.evicted(top.url, "expired")
@@ -526,9 +556,23 @@ func (s *Store) makeRoom(incoming *Entry) {
 	if s.tel != nil {
 		s.tel.selection.ObserveDuration(time.Since(selStart))
 	}
+	var pacm *PACM
+	if s.ledger != nil {
+		pacm, _ = s.policy.(*PACM)
+	}
 	for _, v := range victims {
 		if _, ok := s.entries[v.Object.URL]; !ok {
 			continue
+		}
+		if s.ledger != nil {
+			// The ledger distinguishes Gini-forced drops from ordinary
+			// capacity evictions; the telemetry reason stays "capacity"
+			// for both so metric families are unchanged.
+			op := decisionlog.OpEvictCapacity
+			if pacm != nil && pacm.fairnessVictim(v) {
+				op = decisionlog.OpEvictGini
+			}
+			s.ledger.Record(s.ledgerEvent(op, v, now))
 		}
 		s.removeEntry(v.Object.URL)
 		s.stats.Evictions++
@@ -555,6 +599,9 @@ func (s *Store) makeRoom(incoming *Entry) {
 				break
 			}
 			need -= e.Size()
+			if s.ledger != nil {
+				s.ledger.Record(s.ledgerEvent(decisionlog.OpEvictCapacity, e, now))
+			}
 			s.removeEntry(e.Object.URL)
 			s.stats.Evictions++
 			s.tel.evicted(e.Object.URL, "capacity")

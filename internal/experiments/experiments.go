@@ -128,6 +128,7 @@ func orderKey(id string) string {
 		"fig12": "10", "fig13a": "11", "fig13b": "12", "fig13c": "13",
 		"fig14": "14", "table7": "15", "coherence": "16",
 		"fleet-health": "17", "coop": "18", "fleet-storm": "19",
+		"explain": "20",
 	}
 	if k, ok := order[id]; ok {
 		return k

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"apecache/internal/coherence"
+	"apecache/internal/decisionlog"
+	"apecache/internal/objstore"
+	"apecache/internal/testbed"
+	"apecache/internal/vclock"
+	"apecache/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "explain",
+		Title: "Miss-cause attribution: where the decision ledger says misses come from",
+		Run:   runExplain,
+	})
+}
+
+// explainOutcome is one ledger-on run's attribution, plus the identity
+// check inputs: the ledger's own miss total and the store's telemetry
+// miss counter, observed at the same instant.
+type explainOutcome struct {
+	causes      map[string]uint64
+	ledgerTotal uint64
+	telMisses   float64
+	hitRatio    float64
+}
+
+// checkIdentity asserts the accounting identity the ledger is built
+// around: every classified cause sums to the ledger's miss total, which
+// equals the store's own telemetry miss counter. A violation means a
+// miss path exists that the ledger does not classify (or classifies
+// twice) — exactly the regression this experiment exists to catch.
+func (o *explainOutcome) checkIdentity(label string) error {
+	var sum uint64
+	for _, n := range o.causes {
+		sum += n
+	}
+	if sum != o.ledgerTotal {
+		return fmt.Errorf("%s: cause sum %d != ledger total %d", label, sum, o.ledgerTotal)
+	}
+	if float64(o.ledgerTotal) != o.telMisses {
+		return fmt.Errorf("%s: ledger total %d != %s %.0f", label, o.ledgerTotal, identityExpr, o.telMisses)
+	}
+	return nil
+}
+
+// The ledger classifies a miss observation wherever one surfaces: a
+// store lookup that comes up empty, an edge delegation fill, or a
+// peer-mesh fill. Each site pairs with exactly one telemetry counter,
+// so the attribution identity is provable from instruments alone.
+const (
+	storeMissKey  = `apcache_store_lookups_total{result="miss"}`
+	delegationKey = `apcache_delegations_total`
+	peerHitsKey   = `apcache_peer_hits_total`
+)
+
+// identityExpr names the identity in rendered notes and errors.
+const identityExpr = "store lookup misses + delegations + peer hits"
+
+// captureLedger reads the attribution state off a live testbed AP. Must
+// run inside the simulation, before shutdown.
+func captureLedger(tb *testbed.Testbed) *explainOutcome {
+	led := tb.AP.Ledger()
+	m := tb.AP.Telemetry().Metrics.Expand()
+	return &explainOutcome{
+		causes:      led.Counts(),
+		ledgerTotal: led.TotalMisses(),
+		telMisses:   m[storeMissKey] + m[delegationKey] + m[peerHitsKey],
+		hitRatio:    tb.HitStats().All.Ratio(),
+	}
+}
+
+// runExplain replays two very different workloads with the decision
+// ledger on and renders the fleet of miss causes side by side: the
+// Table-IV object-size workload (capacity pressure → PACM evictions and
+// admission rejections dominate) and the mutating-origin coherence
+// workload under SWR (purges and revalidations dominate). Both runs
+// prove the attribution identity before any row is rendered.
+func runExplain(cfg RunConfig) (*Result, error) {
+	steady, err := runExplainWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("explain steady: %w", err)
+	}
+	if err := steady.checkIdentity("steady"); err != nil {
+		return nil, err
+	}
+	coh, err := runExplainCoherence(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("explain coherence: %w", err)
+	}
+	if err := coh.checkIdentity("coherence"); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "explain",
+		Title:  "Miss-cause attribution (decision ledger on)",
+		Header: []string{"Cause", "Steady (Table-IV workload)", "Coherence (SWR, mutating origin)"},
+		Notes: []string{
+			fmt.Sprintf("identity holds in both runs: sum(causes) == ledger total == %s", identityExpr),
+			fmt.Sprintf("steady: %d misses attributed, hit ratio %s", steady.ledgerTotal, ratio(steady.hitRatio)),
+			fmt.Sprintf("coherence: %d misses attributed, hit ratio %s", coh.ledgerTotal, ratio(coh.hitRatio)),
+			"cold = first-ever lookup; purged = invalidated by the origin before re-lookup",
+		},
+	}
+	for _, c := range decisionlog.Causes {
+		res.Rows = append(res.Rows, []string{
+			string(c),
+			fmt.Sprintf("%d", steady.causes[string(c)]),
+			fmt.Sprintf("%d", coh.causes[string(c)]),
+		})
+	}
+	return res, nil
+}
+
+// runExplainWorkload runs the Table-IV 300 KB object-size suite with the
+// ledger on. Not memoized with the shared runWorkload runs: the ledger
+// knob must not leak into the baseline outcomes other tables reuse.
+func runExplainWorkload(cfg RunConfig) (*explainOutcome, error) {
+	suite, _ := suiteForSize(300, cfg.Seed)
+	sim := vclock.NewSim(time.Time{})
+	var (
+		out    *explainOutcome
+		runErr error
+	)
+	sim.Run("explain-steady", func() {
+		tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+			Suite:       suite,
+			Seed:        cfg.Seed,
+			DecisionLog: true,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		res := workload.Run(sim, suite, tb.FetcherFor, cfg.workloadDuration(), cfg.Seed+101)
+		if res.Failures > 0 {
+			runErr = fmt.Errorf("%d failed executions", res.Failures)
+			return
+		}
+		out = captureLedger(tb)
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runExplainCoherence replays the coherence experiment's mutating-origin
+// schedule under SWR with the ledger on, so purge/stale attribution is
+// exercised end to end (bus relay → store purge → ledger event →
+// classified miss).
+func runExplainCoherence(cfg RunConfig) (*explainOutcome, error) {
+	duration := cfg.workloadDuration() / 6
+	if duration < 30*time.Second {
+		duration = 30 * time.Second
+	}
+	mutateEvery := duration / 6
+	fetchEvery := 2 * time.Second
+
+	suite := workload.Generate(workload.GeneratorConfig{NumApps: 4, Seed: cfg.Seed + 33})
+	sim := vclock.NewSim(time.Time{})
+	var (
+		out    *explainOutcome
+		runErr error
+	)
+	sim.Run("explain-coherence", func() {
+		tb, err := testbed.New(sim, testbed.SystemAPECache, testbed.Config{
+			Suite:       suite,
+			Seed:        cfg.Seed,
+			Coherence:   coherence.ModeSWR,
+			DecisionLog: true,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		app := suite.Apps[0]
+		objects := app.Objects()
+		fetcher := tb.FetcherFor(app)
+
+		fetch := func(o *objstore.Object) error {
+			_, err := fetcher.Get(o.URL)
+			return err
+		}
+		for _, o := range objects {
+			if err := fetch(o); err != nil {
+				runErr = err
+				return
+			}
+		}
+		sim.Sleep(2 * time.Second)
+
+		start := sim.Now()
+		nextMutate := start.Add(mutateEvery)
+		mutations := 0
+		for sim.Now().Sub(start) < duration {
+			if !sim.Now().Before(nextMutate) {
+				target := objects[mutations%len(objects)]
+				mutations++
+				nextMutate = nextMutate.Add(mutateEvery)
+				if _, err := tb.MutateObject(target.URL); err != nil {
+					runErr = err
+					return
+				}
+				sim.Sleep(25 * time.Millisecond)
+				if err := fetch(target); err != nil {
+					runErr = err
+					return
+				}
+				sim.Sleep(fetchEvery)
+				continue
+			}
+			for _, o := range objects {
+				if err := fetch(o); err != nil {
+					runErr = err
+					return
+				}
+			}
+			sim.Sleep(fetchEvery)
+		}
+		out = captureLedger(tb)
+	})
+	sim.Shutdown()
+	sim.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err := sim.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

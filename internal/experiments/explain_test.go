@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"apecache/internal/decisionlog"
+)
+
+// TestExplainAttributionIdentity is the explain-smoke gate: the
+// experiment itself errors unless sum(causes) == ledger total ==
+// telemetry misses in BOTH harnesses, so a clean run proves the
+// accounting identity end to end. On top of that, the workloads must
+// actually separate the taxonomy: cold misses in the steady run, purge
+// attribution in the coherence run.
+func TestExplainAttributionIdentity(t *testing.T) {
+	res, err := mustRun(t, "explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != decisionlog.NumCauses {
+		t.Fatalf("rows = %d, want %d (one per cause)", len(res.Rows), decisionlog.NumCauses)
+	}
+	cell := func(cause decisionlog.Cause, col int) float64 {
+		for _, row := range res.Rows {
+			if row[0] == string(cause) {
+				return numericCell(t, row[col])
+			}
+		}
+		t.Fatalf("cause %s missing from table", cause)
+		return 0
+	}
+	if cell(decisionlog.CauseCold, 1) == 0 {
+		t.Error("steady run attributed no cold misses")
+	}
+	if cell(decisionlog.CauseCold, 2) == 0 {
+		t.Error("coherence run attributed no cold misses")
+	}
+	if cell(decisionlog.CausePurged, 2) == 0 {
+		t.Error("coherence run attributed no purged misses despite origin mutations")
+	}
+}

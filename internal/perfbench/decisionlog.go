@@ -1,0 +1,91 @@
+package perfbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"apecache/internal/cachepolicy"
+	"apecache/internal/decisionlog"
+	"apecache/internal/objstore"
+	"apecache/internal/telemetry"
+	"apecache/internal/vclock"
+)
+
+// DecisionLogOverheadGate is the acceptance ceiling (in percent) on the
+// hot-path cost the decision ledger may add to an instrumented store.
+// The CI explain-smoke step fails the build when the measured overhead
+// crosses it.
+const DecisionLogOverheadGate = 5.0
+
+// benchDecisionLog measures the ledger's toll on the representative AP
+// request path (the same DNS-Cache domain scan plus object fetch the
+// telemetry overhead micro uses): an instrumented store without a
+// ledger versus one with the ledger attached before population (so
+// every admission writes a ring event). One op in four misses on an
+// absent URL — the miss branch is where Classify walks the URL's
+// history, so an all-hits mix would understate the cost. A second
+// micro isolates Record itself.
+func (r *Report) benchDecisionLog(iters int) {
+	const residents, domains = 256, 8
+	build := func(withLedger bool) (*cachepolicy.Store, []string) {
+		s := cachepolicy.NewStore(&vclock.Real{}, 1<<30, 1<<20, cachepolicy.NewPACM(), nil)
+		s.Instrument(telemetry.New(&vclock.Real{}), "bench")
+		if withLedger {
+			s.AttachLedger(decisionlog.New(0))
+		}
+		urls := make([]string, 0, residents)
+		for i := 0; i < residents; i++ {
+			url := fmt.Sprintf("http://app%d.example/obj/%d", i%domains, i)
+			obj := &objstore.Object{URL: url, App: fmt.Sprintf("app%d", i%domains), Size: 1 << 10, TTL: time.Hour, Priority: 1 + i%3}
+			if err := s.Put(obj, make([]byte, obj.Size), 10*time.Millisecond); err != nil {
+				panic(err)
+			}
+			urls = append(urls, url)
+		}
+		return s, urls
+	}
+	off, urls := build(false)
+	on, _ := build(true)
+
+	absent := make([]string, 64)
+	for i := range absent {
+		absent[i] = fmt.Sprintf("http://app%d.example/absent/%d", i%domains, i)
+	}
+	op := func(s *cachepolicy.Store) func(int) {
+		return func(i int) {
+			s.KnownHashesForDomain(fmt.Sprintf("app%d.example", i%domains))
+			if i%4 == 0 {
+				// One miss per four ops: absent URLs exercise the
+				// classification path (ledger-on) against the bare miss
+				// counter bump (ledger-off).
+				s.Get(absent[i%len(absent)])
+				return
+			}
+			s.Get(urls[i%len(urls)])
+		}
+	}
+	offNs, onNs := math.Inf(1), math.Inf(1)
+	for round := 0; round < telemetryRounds; round++ {
+		offNs = math.Min(offNs, timeOp(iters, op(off)))
+		onNs = math.Min(onNs, timeOp(iters, op(on)))
+	}
+
+	led := decisionlog.New(0)
+	now := time.Now()
+	recNs := timeOp(iters, func(i int) {
+		led.Record(decisionlog.Event{Time: now, Op: decisionlog.OpAdmit,
+			URL: urls[i%len(urls)], App: "bench", Size: 1 << 10, Utility: 42})
+	})
+
+	r.Micros = append(r.Micros,
+		Micro{Name: "decisionlog/request-path/off", NsPerOp: offNs, Note: "KnownHashesForDomain + Get (3 hits : 1 miss) on an instrumented store, no ledger (min of interleaved rounds)"},
+		Micro{Name: "decisionlog/request-path/on", NsPerOp: onNs, Note: "same mix with the decision ledger attached"},
+		Micro{Name: "decisionlog/record", NsPerOp: recNs, Note: "one ledger ring append incl. URL and domain index upkeep"},
+	)
+	r.Invariants = append(r.Invariants, Invariant{
+		Name:  "decisionlog-overhead-pct",
+		Value: round2((onNs - offNs) / offNs * 100),
+		Note:  fmt.Sprintf("request-path cost added by the decision ledger, percent (acceptance gate: < %g)", DecisionLogOverheadGate),
+	})
+}

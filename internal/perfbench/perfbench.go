@@ -107,6 +107,7 @@ func Run(cfg Config) (*Report, error) {
 	r.benchSnapshot(iters / 10)
 	r.benchMesh(iters)
 	r.benchFanout(iters)
+	r.benchDecisionLog(iters)
 
 	if !cfg.Quick {
 		if err := r.runSweeps(cfg); err != nil {

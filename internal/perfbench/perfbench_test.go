@@ -34,6 +34,7 @@ func TestRunQuick(t *testing.T) {
 		"fanout-publish-scaling-legacy":   false,
 		"fanout-publish-scaling-sharded":  false,
 		"fanout-publish-speedup-1024":     false,
+		"decisionlog-overhead-pct":        false,
 	}
 	for _, inv := range r.Invariants {
 		if _, ok := want[inv.Name]; ok {
@@ -72,6 +73,28 @@ func TestTelemetryOverheadGate(t *testing.T) {
 		}
 	}
 	t.Fatal("telemetry-overhead-pct invariant missing")
+}
+
+// TestDecisionLogOverheadGate enforces the <5% bound on what the
+// decision ledger adds to an already instrumented request path.
+// Timing-sensitive like the telemetry gate, so it runs only under
+// APECACHE_PERF_GATE=1 (the CI explain-smoke step).
+func TestDecisionLogOverheadGate(t *testing.T) {
+	if os.Getenv("APECACHE_PERF_GATE") == "" {
+		t.Skip("set APECACHE_PERF_GATE=1 to run the decision-ledger overhead gate")
+	}
+	var r Report
+	r.benchDecisionLog(20000)
+	for _, inv := range r.Invariants {
+		if inv.Name == "decisionlog-overhead-pct" {
+			t.Logf("decision-ledger overhead: %.2f%% (gate %g%%)", inv.Value, DecisionLogOverheadGate)
+			if inv.Value >= DecisionLogOverheadGate {
+				t.Errorf("decision-ledger overhead %.2f%% breaches the %g%% gate", inv.Value, DecisionLogOverheadGate)
+			}
+			return
+		}
+	}
+	t.Fatal("decisionlog-overhead-pct invariant missing")
 }
 
 // TestSnapshotBuildGate enforces the <100µs bound on capturing and

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzSnapshotDecode fuzzes the fleet push-body decoder. Rejecting
+// garbage is fine; panicking is not; and anything accepted must hold
+// the decoder's guarantees — a node name, internally consistent
+// histogram shapes, span trace IDs restored from their hex form — and
+// survive an encode→decode round trip.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte(`{"node":"ap-1","seq":1,"t":"2024-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"node":"ap-1","seq":2,"counters":{"apcache_delegations_total":5,"apcache_miss_cause_total{cause=\"cold\"}":3}}`))
+	f.Add([]byte(`{"node":"ap-2","gauges":{"apcache_gini":0.12}}`))
+	f.Add([]byte(`{"node":"ap-3","hists":{"apcache_serve_seconds":{"bounds":[0.001,0.01],"counts":[4,1,0],"sum":0.02}}}`))
+	f.Add([]byte(`{"node":"ap-4","hists":{"bad":{"bounds":[1],"counts":[1],"sum":0}}}`))
+	f.Add([]byte(`{"node":"ap-5","spans":[{"trace":"00f0e0d0c0b0a090","name":"ap-cache","node":"ap-5","start":"2024-01-01T00:00:00Z","dur":1000000}]}`))
+	f.Add([]byte(`{"seq":9}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	if b, err := EncodeSnapshot(&Snapshot{Node: "seed", Seq: 3, Time: time.Unix(10, 0).UTC(),
+		Counters: map[string]float64{"a_total": 1}}); err == nil {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s, err := DecodeSnapshot(body)
+		if err != nil {
+			return
+		}
+		if s.Node == "" {
+			t.Fatalf("accepted snapshot without node: %q", body)
+		}
+		for k, h := range s.Hists {
+			if !h.Valid() {
+				t.Fatalf("accepted malformed histogram %s: %q", k, body)
+			}
+		}
+		for _, sp := range s.Spans {
+			if id, ok := ParseTraceID(sp.TraceHex); ok && sp.Trace != id {
+				t.Fatalf("trace ID not restored: %s -> %v", sp.TraceHex, sp.Trace)
+			}
+		}
+		re, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := DecodeSnapshot(re); err != nil {
+			t.Fatalf("re-decode of %q failed: %v", re, err)
+		}
+	})
+}

@@ -119,6 +119,12 @@ type Config struct {
 	// enables it — so Table 4/5/6 and the coherence outputs stay
 	// bit-identical to runs without the observability plane.
 	Telemetry *telemetry.Telemetry
+	// DecisionLog turns on the AP's cache decision ledger (explain
+	// endpoint, miss-cause attribution). The ledger records decisions
+	// and classifies misses off the wire, so enabling it does not
+	// change simulated timings; baseline experiments still leave it
+	// off so their configuration matches seed exactly.
+	DecisionLog bool
 }
 
 func (c *Config) applyDefaults() {
@@ -288,6 +294,7 @@ func (tb *Testbed) startServers() error {
 			DisableDummyIP:     tb.cfg.DisableDummyIP,
 			Coherence:          tb.cfg.Coherence,
 			Telemetry:          tb.cfg.Telemetry,
+			DecisionLog:        tb.cfg.DecisionLog,
 		})
 		if err := tb.AP.Start(); err != nil {
 			return fmt.Errorf("testbed: %w", err)

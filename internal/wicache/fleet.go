@@ -46,13 +46,24 @@ type FleetLatency struct {
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
+// FleetMissCause is one bucket of the fleet-wide miss-cause breakdown,
+// summed across every AP running with the decision ledger on.
+type FleetMissCause struct {
+	Cause  string  `json:"cause"`
+	Misses float64 `json:"misses"`
+}
+
 // FleetView is the /fleet response: per-AP health, merged latency
-// distributions with exemplars, and every alert's state.
+// distributions with exemplars, and every alert's state. MissCauses is
+// present only when at least one AP pushes apcache_miss_cause_total
+// counters (decision ledger on), so ledger-off fleets render identical
+// bytes.
 type FleetView struct {
-	Now     time.Time      `json:"now"`
-	APs     []HealthReport `json:"aps"`
-	Latency []FleetLatency `json:"latency"`
-	Alerts  []AlertStatus  `json:"alerts"`
+	Now        time.Time        `json:"now"`
+	APs        []HealthReport   `json:"aps"`
+	Latency    []FleetLatency   `json:"latency"`
+	Alerts     []AlertStatus    `json:"alerts"`
+	MissCauses []FleetMissCause `json:"miss_causes,omitempty"`
 }
 
 // apState is one AP's retained telemetry at the controller.
@@ -290,6 +301,31 @@ func (f *FleetStore) View() *FleetView {
 			P99Ms:     m.Quantile(0.99) * 1e3,
 			Exemplars: append([]Exemplar(nil), f.exemplars[family]...),
 		})
+	}
+	// Fleet-wide miss-cause breakdown: sum each AP's attribution
+	// counters (present only on ledger-on APs) per cause, rendered in
+	// cause order for determinism.
+	const causePrefix = `apcache_miss_cause_total{cause="`
+	causeSums := make(map[string]float64)
+	var causes []string
+	for _, name := range f.order {
+		for key, val := range f.aps[name].cur.Counters {
+			if !strings.HasPrefix(key, causePrefix) {
+				continue
+			}
+			cause := key[len(causePrefix):]
+			if i := strings.IndexByte(cause, '"'); i >= 0 {
+				cause = cause[:i]
+			}
+			if _, ok := causeSums[cause]; !ok {
+				causes = append(causes, cause)
+			}
+			causeSums[cause] += val
+		}
+	}
+	sort.Strings(causes)
+	for _, c := range causes {
+		v.MissCauses = append(v.MissCauses, FleetMissCause{Cause: c, Misses: causeSums[c]})
 	}
 	v.Alerts = f.engine.statuses()
 	return v

@@ -257,3 +257,45 @@ func TestFleetConcurrentIngestView(t *testing.T) {
 		t.Errorf("merged serve count = %d, want %d", total, want)
 	}
 }
+
+// TestFleetMissCauseMerge checks that per-AP apcache_miss_cause_total
+// counters sum into the fleet view's breakdown in deterministic cause
+// order, and that ledger-off fleets render no breakdown at all.
+func TestFleetMissCauseMerge(t *testing.T) {
+	env := &vclock.Real{}
+	f := NewFleetStore(env, nil, FleetConfig{})
+	now := env.Now()
+
+	off := apSnapshot("ap:off", 1, now, 10, 1, 0, 0)
+	if err := f.Ingest(off); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if v := f.View(); len(v.MissCauses) != 0 {
+		t.Fatalf("ledger-off fleet has a miss-cause breakdown: %+v", v.MissCauses)
+	}
+
+	cause := func(c string) string { return `apcache_miss_cause_total{cause="` + c + `"}` }
+	a := apSnapshot("ap:a", 1, now, 10, 1, 0, 0)
+	a.Counters[cause("cold")] = 5
+	a.Counters[cause("purged")] = 2
+	b := apSnapshot("ap:b", 1, now, 10, 1, 0, 0)
+	b.Counters[cause("cold")] = 3
+	b.Counters[cause("expired")] = 7
+	if err := f.Ingest(a); err != nil {
+		t.Fatalf("ingest a: %v", err)
+	}
+	if err := f.Ingest(b); err != nil {
+		t.Fatalf("ingest b: %v", err)
+	}
+
+	v := f.View()
+	want := []FleetMissCause{{"cold", 8}, {"expired", 7}, {"purged", 2}}
+	if len(v.MissCauses) != len(want) {
+		t.Fatalf("breakdown = %+v, want %+v", v.MissCauses, want)
+	}
+	for i, w := range want {
+		if v.MissCauses[i] != w {
+			t.Fatalf("breakdown[%d] = %+v, want %+v", i, v.MissCauses[i], w)
+		}
+	}
+}
